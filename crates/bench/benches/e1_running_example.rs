@@ -1,0 +1,45 @@
+//! E1 — §2 + Figure 1: the paper's running example end to end.
+//!
+//! Measures the full pipeline (source-view materialization, rewriting,
+//! greedy chase, target extraction) on the products/stores/ratings
+//! scenario at growing source sizes. The shape to reproduce: one greedy
+//! scenario suffices, cost grows near-linearly with `|I_S|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use grom::prelude::*;
+use grom_bench::workloads::{
+    running_example_scenario, running_example_source, RunningExampleConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let scenario = running_example_scenario();
+    let mut group = c.benchmark_group("e1_running_example");
+    group.sample_size(10);
+    for &products in &[100usize, 1_000, 5_000] {
+        let source = running_example_source(&RunningExampleConfig {
+            products,
+            stores: 20,
+            seed: 42,
+        });
+        let opts = PipelineOptions {
+            skip_validation: true,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(products),
+            &source,
+            |b, source| {
+                b.iter(|| {
+                    let res = scenario.run(source, &opts).expect("pipeline succeeds");
+                    assert!(!res.target.is_empty());
+                    res.target.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E2 — §3: "the language of embedded dependencies is closed wrt unfolding
+//! conjunctive views".
+//!
+//! Rewriting over conjunctive view families must stay in the tgd/egd
+//! fragment (asserted) and scale linearly in the number of views and in
+//! the view body size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use grom::rewrite::{rewrite_program, RewriteOptions};
+use grom_bench::workloads::conjunctive_family;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_conjunctive_rewrite");
+
+    for &n_views in &[4usize, 16, 64] {
+        let (views, deps) = conjunctive_family(n_views, 3);
+        group.bench_with_input(
+            BenchmarkId::new("views", n_views),
+            &(views, deps),
+            |b, (views, deps)| {
+                b.iter(|| {
+                    let out = rewrite_program(views, deps, &RewriteOptions::default())
+                        .expect("rewrite succeeds");
+                    assert!(out.is_ded_free());
+                    out.deps.len()
+                })
+            },
+        );
+    }
+
+    for &body in &[2usize, 4, 8] {
+        let (views, deps) = conjunctive_family(16, body);
+        group.bench_with_input(
+            BenchmarkId::new("body_size", body),
+            &(views, deps),
+            |b, (views, deps)| {
+                b.iter(|| {
+                    rewrite_program(views, deps, &RewriteOptions::default())
+                        .expect("rewrite succeeds")
+                        .deps
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3 — §3: negation in view definitions forces deds (the `d0` pattern).
+//!
+//! Rewriting key egds over views with `k` negated atoms produces deds with
+//! `1 + 2k` disjuncts; the rewriting itself stays in the millisecond range
+//! (asserted shape: ded count = number of views, cost linear).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use grom::rewrite::{rewrite_program, RewriteOptions};
+use grom_bench::workloads::negation_family;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ded_generation");
+
+    for &negs in &[0usize, 1, 2, 4] {
+        let (views, deps) = negation_family(8, negs);
+        group.bench_with_input(
+            BenchmarkId::new("negated_atoms", negs),
+            &(views, deps),
+            |b, (views, deps)| {
+                b.iter(|| {
+                    let out = rewrite_program(views, deps, &RewriteOptions::default())
+                        .expect("rewrite succeeds");
+                    let deds = out.deds().count();
+                    if negs == 0 {
+                        assert_eq!(deds, 0);
+                    } else {
+                        assert_eq!(deds, 8);
+                    }
+                    deds
+                })
+            },
+        );
+    }
+
+    for &n_views in &[8usize, 32, 128] {
+        let (views, deps) = negation_family(n_views, 2);
+        group.bench_with_input(
+            BenchmarkId::new("views", n_views),
+            &(views, deps),
+            |b, (views, deps)| {
+                b.iter(|| {
+                    rewrite_program(views, deps, &RewriteOptions::default())
+                        .expect("rewrite succeeds")
+                        .deds()
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

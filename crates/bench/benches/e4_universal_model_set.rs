@@ -1,0 +1,50 @@
+//! E4 — §3: "universal model sets may have exponential size wrt the size
+//! of the source instance" (Deutsch–Nash–Remmel).
+//!
+//! The exhaustive ded chase over `k` independent violations of a binary
+//! ded expands `2^(k+1) - 1` nodes and returns `2^k` leaves; the greedy
+//! chase commits to one disjunct per ded and finishes in a single scenario.
+//! This is the paper's core argument for the greedy strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use grom::chase::{chase_exhaustive, chase_greedy, ChaseConfig};
+use grom_bench::workloads::universal_model_workload;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_universal_model_set");
+    group.sample_size(10);
+
+    for &k in &[4usize, 8, 12] {
+        let (deps, inst) = universal_model_workload(k);
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", k),
+            &(deps.clone(), inst.clone()),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    let res =
+                        chase_exhaustive(inst.clone(), deps, &ChaseConfig::default())
+                            .expect("exhaustive succeeds");
+                    assert_eq!(res.solutions.len(), 1 << k);
+                    res.solutions.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", k),
+            &(deps, inst),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    let res = chase_greedy(inst.clone(), deps, &ChaseConfig::default())
+                        .expect("greedy succeeds");
+                    assert_eq!(res.stats.scenarios_tried, 1);
+                    res.instance.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

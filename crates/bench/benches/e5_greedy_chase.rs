@@ -1,0 +1,66 @@
+//! E5 — §4: "the greedy chase … is often surprisingly quick in returning
+//! some solution. In other cases, when the constraints are more intricate,
+//! [it] will take considerably more time, due to the fact that many of the
+//! generated scenarios fail".
+//!
+//! Sweeps the density of denied branches: the number of scenarios the
+//! greedy search burns before finding a satisfiable one grows sharply with
+//! intricacy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use grom::chase::{chase_greedy, chase_greedy_backjump, ChaseConfig};
+use grom_bench::workloads::{greedy_intricacy_attributable, greedy_intricacy_workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_greedy_chase");
+    group.sample_size(10);
+
+    for &frac in &[0.0f64, 0.2, 0.5, 0.8] {
+        let (deps, inst) = greedy_intricacy_workload(10, frac, 3);
+        group.bench_with_input(
+            BenchmarkId::new("plain", format!("denied_{frac:.1}")),
+            &(deps, inst),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    let res = chase_greedy(inst.clone(), deps, &ChaseConfig::default())
+                        .expect("greedy eventually succeeds");
+                    res.stats.scenarios_tried
+                })
+            },
+        );
+    }
+
+    // E5b ablation: attributable failures let the backjumper skip ahead.
+    for &frac in &[0.2f64, 0.8] {
+        let (deps, inst) = greedy_intricacy_attributable(10, frac, 3);
+        group.bench_with_input(
+            BenchmarkId::new("plain_attributable", format!("denied_{frac:.1}")),
+            &(deps.clone(), inst.clone()),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    chase_greedy(inst.clone(), deps, &ChaseConfig::default())
+                        .expect("greedy succeeds")
+                        .stats
+                        .scenarios_tried
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("backjump_attributable", format!("denied_{frac:.1}")),
+            &(deps, inst),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    chase_greedy_backjump(inst.clone(), deps, &ChaseConfig::default())
+                        .expect("backjump succeeds")
+                        .stats
+                        .scenarios_tried
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

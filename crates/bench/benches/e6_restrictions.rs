@@ -1,0 +1,60 @@
+//! E6 — §4: "a possible alternative is to leverage the syntactic
+//! restrictions over the use of negation that guarantee that no deds are
+//! generated … GROM supports this process by highlighting problematic
+//! views".
+//!
+//! Benchmarks the analyzer plus rewrite on the perverse (paper) scenario
+//! and on the designer's ded-free reformulation, and the end-to-end chase
+//! for both. The shape: the reformulated scenario rewrites to a ded-free
+//! program and chases faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use grom::prelude::*;
+use grom_bench::workloads::{restriction_pair, running_example_source, RunningExampleConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_restrictions");
+    group.sample_size(10);
+
+    let (perverse, reformulated) = restriction_pair();
+    for (name, sc) in [("perverse", perverse), ("reformulated", reformulated)] {
+        let deps: Vec<Dependency> = sc.all_dependencies().cloned().collect();
+        let views = sc.target_views.clone();
+        group.bench_with_input(
+            BenchmarkId::new("analyze", name),
+            &(views, deps),
+            |b, (views, deps)| {
+                b.iter(|| {
+                    let (report, _) =
+                        grom::rewrite::analyze(views, deps, &RewriteOptions::default())
+                            .expect("analyze succeeds");
+                    report.has_deds
+                })
+            },
+        );
+
+        let source = running_example_source(&RunningExampleConfig {
+            products: 1_000,
+            stores: 20,
+            seed: 42,
+        });
+        let opts = PipelineOptions {
+            skip_validation: true,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_1k", name),
+            &(sc, source),
+            |b, (sc, source)| {
+                b.iter(|| {
+                    sc.run(source, &opts).expect("pipeline succeeds").target.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

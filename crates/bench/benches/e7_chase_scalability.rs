@@ -1,0 +1,51 @@
+//! E7 — §3: "it relies on a fast and scalable chase engine … This
+//! guarantees good scalability in executing mappings, even on large
+//! databases".
+//!
+//! Chase throughput on the running example as `|I_S|` grows; the shape to
+//! reproduce is near-linear scaling (constant rounds, roughly constant
+//! tuples/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use grom::prelude::*;
+use grom_bench::workloads::{
+    running_example_scenario, running_example_source, RunningExampleConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let scenario = running_example_scenario();
+    let rewritten = scenario
+        .rewrite(&RewriteOptions::default())
+        .expect("rewrite succeeds");
+    let mut group = c.benchmark_group("e7_chase_scalability");
+    group.sample_size(10);
+
+    for &products in &[1_000usize, 5_000, 20_000] {
+        let source = running_example_source(&RunningExampleConfig {
+            products,
+            stores: 50,
+            seed: 42,
+        });
+        group.throughput(Throughput::Elements(products as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(products),
+            &source,
+            |b, source| {
+                b.iter(|| {
+                    let res = grom::chase::chase_with_deds(
+                        source.clone(),
+                        &rewritten.deps,
+                        &ChaseConfig::default(),
+                    )
+                    .expect("chase succeeds");
+                    res.instance.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

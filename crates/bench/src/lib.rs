@@ -1,0 +1,20 @@
+//! # grom-bench — workloads and the experiment harness
+//!
+//! Deterministic workload generators for the experiments of DESIGN.md
+//! (E1–E7), each reproducing a quantitative claim of the paper's §3–§4,
+//! plus a small fixed-width table printer used by the `experiments` binary
+//! and EXPERIMENTS.md.
+//!
+//! All generators are seeded and pure: the same parameters produce the same
+//! scenario and instance, so criterion runs and the experiments binary are
+//! reproducible.
+
+pub mod report;
+pub mod workloads;
+
+pub use report::Table;
+pub use workloads::{
+    conjunctive_family, greedy_intricacy_attributable, greedy_intricacy_workload,
+    negation_family, restriction_pair, running_example_scenario, running_example_source,
+    universal_model_workload, RunningExampleConfig,
+};

@@ -1,0 +1,79 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+use std::fmt;
+
+/// A printable table: the `experiments` binary renders one per experiment,
+/// in the same row format EXPERIMENTS.md records.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if c.len() > w[i] {
+                    w[i] = c.len();
+                }
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &w {
+            write!(f, "{:-<width$}|", "", width = width + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_style() {
+        let mut t = Table::new("E0: smoke", &["n", "time"]);
+        t.row(vec!["10".into(), "1.5ms".into()]);
+        t.row(vec!["1000".into(), "150ms".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## E0: smoke"));
+        assert!(s.contains("| n    | time  |"));
+        assert!(s.contains("| 1000 | 150ms |"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Chase configuration.
+
+/// Budgets and knobs for the chase engine.
+///
+/// Defaults are generous enough for every scenario in this repository; the
+/// round budget is the safety net for programs that are not weakly acyclic
+/// (see [`crate::wa`]).
+#[derive(Debug, Clone)]
+pub struct ChaseConfig {
+    /// Maximum number of chase rounds in the standard chase. A round visits
+    /// every dependency once; weakly-acyclic programs converge long before
+    /// any realistic budget.
+    pub max_rounds: usize,
+    /// Maximum number of standard scenarios the greedy ded chase will try
+    /// before giving up (the scenario space is the product of the deds'
+    /// disjunct counts).
+    pub max_scenarios: usize,
+    /// Maximum number of tree nodes the exhaustive ded chase will expand.
+    pub max_nodes: usize,
+    /// Maximum number of chase *steps* (single dependency applications) in
+    /// one branch of the exhaustive chase.
+    pub max_steps_per_branch: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 10_000,
+            max_scenarios: 4_096,
+            max_nodes: 1_000_000,
+            max_steps_per_branch: 1_000_000,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// A configuration with a tight round budget, for tests that exercise
+    /// non-terminating programs.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    pub fn with_max_scenarios(mut self, max_scenarios: usize) -> Self {
+        self.max_scenarios = max_scenarios;
+        self
+    }
+
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+}

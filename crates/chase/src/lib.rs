@@ -1,0 +1,40 @@
+//! # grom-chase — the chase engine of GROM
+//!
+//! The execution half of Figure 2 of the paper: given a source instance and
+//! the *rewritten* dependencies produced by `grom-rewrite`, generate a
+//! target instance. This is the module the paper borrows from the Llunatic
+//! project [5]; here it is a native in-memory engine with the same
+//! semantics.
+//!
+//! * [`standard`] — the restricted chase for tgds, egds and denial
+//!   constraints: tgd conclusions are witnessed with fresh labeled nulls,
+//!   egds unify nulls (failing on constant/constant conflicts), denials
+//!   fail on any premise match. Produces **universal solutions** for
+//!   weakly-acyclic programs.
+//! * [`ded`] — the two ded-chase strategies of §3 "Handling Complexity":
+//!   the **greedy chase** (search over standard scenarios derived by fixing
+//!   one disjunct per ded — sound, incomplete, usually fast) and the
+//!   **exhaustive chase** (fork per disjunct at every violation; the set of
+//!   successful leaves is the *universal model set* of Deutsch–Nash–Remmel,
+//!   potentially exponential — exactly the blow-up experiment E4 measures).
+//! * [`wa`] — weak-acyclicity analysis of the position graph, the classical
+//!   sufficient condition for chase termination; non-weakly-acyclic
+//!   programs run under the round budget of [`ChaseConfig`].
+
+pub mod config;
+pub mod core_min;
+pub mod ded;
+pub mod nullmap;
+pub mod result;
+pub mod standard;
+pub mod wa;
+
+pub use config::ChaseConfig;
+pub use core_min::{core_minimize, CoreStats};
+pub use ded::{
+    chase_exhaustive, chase_greedy, chase_greedy_backjump, chase_with_deds, ExhaustiveResult,
+};
+pub use nullmap::NullMap;
+pub use result::{ChaseError, ChaseResult, ChaseStats};
+pub use standard::chase_standard;
+pub use wa::{is_weakly_acyclic, WeakAcyclicityReport};

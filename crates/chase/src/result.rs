@@ -1,0 +1,180 @@
+//! Chase results, statistics and errors.
+
+use std::fmt;
+use std::sync::Arc;
+
+use grom_data::{DataError, Instance, Value};
+
+/// Counters describing a chase run. Experiments E4/E5/E7 report these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Rounds of the standard chase (a round visits every dependency).
+    pub rounds: usize,
+    /// Tgd-style applications (tuples-producing steps).
+    pub tgd_applications: usize,
+    /// Tuples actually inserted (after deduplication).
+    pub tuples_inserted: usize,
+    /// Fresh labeled nulls invented for existential variables.
+    pub nulls_invented: usize,
+    /// Egd merges (null unifications).
+    pub egd_merges: usize,
+    /// Greedy ded chase: scenarios attempted (including the successful one).
+    pub scenarios_tried: usize,
+    /// Greedy ded chase: scenarios that ended in failure.
+    pub scenarios_failed: usize,
+    /// Exhaustive ded chase: tree nodes expanded.
+    pub nodes_expanded: usize,
+    /// Exhaustive ded chase: successful leaves (size of the universal model
+    /// set found).
+    pub leaves: usize,
+    /// Exhaustive ded chase: branches pruned by failure.
+    pub branches_failed: usize,
+}
+
+impl ChaseStats {
+    /// Fold counters from a sub-run (used by the greedy scenario loop).
+    pub fn absorb(&mut self, other: &ChaseStats) {
+        self.rounds += other.rounds;
+        self.tgd_applications += other.tgd_applications;
+        self.tuples_inserted += other.tuples_inserted;
+        self.nulls_invented += other.nulls_invented;
+        self.egd_merges += other.egd_merges;
+        self.scenarios_tried += other.scenarios_tried;
+        self.scenarios_failed += other.scenarios_failed;
+        self.nodes_expanded += other.nodes_expanded;
+        self.leaves += other.leaves;
+        self.branches_failed += other.branches_failed;
+    }
+}
+
+impl fmt::Display for ChaseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} tgd_apps={} inserted={} nulls={} merges={} \
+             scenarios={}(failed {}) nodes={} leaves={}",
+            self.rounds,
+            self.tgd_applications,
+            self.tuples_inserted,
+            self.nulls_invented,
+            self.egd_merges,
+            self.scenarios_tried,
+            self.scenarios_failed,
+            self.nodes_expanded,
+            self.leaves
+        )
+    }
+}
+
+/// A successful chase: the chased instance (source relations plus the
+/// generated target relations) and run statistics.
+#[derive(Debug, Clone)]
+pub struct ChaseResult {
+    pub instance: Instance,
+    pub stats: ChaseStats,
+}
+
+/// Chase failure modes.
+#[derive(Debug, Clone)]
+pub enum ChaseError {
+    /// An egd equated two distinct constants, or a denial premise matched.
+    Failure {
+        dependency: Arc<str>,
+        detail: String,
+    },
+    /// The round budget was exhausted (program likely not terminating).
+    RoundLimit { rounds: usize },
+    /// Greedy ded chase: every attempted scenario failed.
+    GreedyExhausted { scenarios_tried: usize },
+    /// Exhaustive ded chase: the node budget was exhausted.
+    NodeLimit { nodes: usize },
+    /// Exhaustive ded chase: every branch failed — the ded set is
+    /// unsatisfiable over this instance.
+    NoSolution { branches_failed: usize },
+    /// A dependency is not executable by the chase (negated premise
+    /// literals must be eliminated by the rewriter first).
+    NotExecutable {
+        dependency: Arc<str>,
+        reason: String,
+    },
+    /// Storage error (arity drift — indicates a malformed program).
+    Data(DataError),
+}
+
+impl ChaseError {
+    /// Convenience constructor for constant-clash failures.
+    pub fn clash(dep: &Arc<str>, a: &Value, b: &Value) -> Self {
+        ChaseError::Failure {
+            dependency: dep.clone(),
+            detail: format!("cannot equate distinct constants {a} and {b}"),
+        }
+    }
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::Failure { dependency, detail } => {
+                write!(f, "chase failure at `{dependency}`: {detail}")
+            }
+            ChaseError::RoundLimit { rounds } => {
+                write!(f, "chase did not terminate within {rounds} rounds")
+            }
+            ChaseError::GreedyExhausted { scenarios_tried } => write!(
+                f,
+                "greedy ded chase: all {scenarios_tried} scenarios failed"
+            ),
+            ChaseError::NodeLimit { nodes } => {
+                write!(f, "exhaustive ded chase: node budget ({nodes}) exhausted")
+            }
+            ChaseError::NoSolution { branches_failed } => write!(
+                f,
+                "exhaustive ded chase: no solution ({branches_failed} branches failed)"
+            ),
+            ChaseError::NotExecutable { dependency, reason } => {
+                write!(f, "dependency `{dependency}` is not executable: {reason}")
+            }
+            ChaseError::Data(e) => write!(f, "chase storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+impl From<DataError> for ChaseError {
+    fn from(e: DataError) -> Self {
+        ChaseError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_absorb_adds_counters() {
+        let mut a = ChaseStats {
+            rounds: 1,
+            tgd_applications: 2,
+            ..Default::default()
+        };
+        let b = ChaseStats {
+            rounds: 3,
+            egd_merges: 4,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 4);
+        assert_eq!(a.tgd_applications, 2);
+        assert_eq!(a.egd_merges, 4);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ChaseError::clash(&Arc::from("e0"), &Value::int(1), &Value::int(2));
+        assert_eq!(
+            e.to_string(),
+            "chase failure at `e0`: cannot equate distinct constants 1 and 2"
+        );
+    }
+}

@@ -1,0 +1,457 @@
+//! The restricted chase for standard dependencies (tgds, egds, denials).
+//!
+//! The chase repeatedly looks for *violations* — premise matches for which
+//! the (single) disjunct is not already satisfied — and repairs them:
+//!
+//! * **tgd-style** disjuncts add the conclusion atoms, witnessing each
+//!   existential variable with a fresh labeled null (the *restricted* chase:
+//!   a violation is only repaired if no extension homomorphism already
+//!   satisfies the conclusion, so the engine never bloats instances with
+//!   redundant nulls);
+//! * **egd-style** disjuncts unify values through a [`NullMap`]; equating
+//!   two distinct constants is a chase failure;
+//! * **denials** (zero disjuncts) fail on any premise match;
+//! * mixed disjuncts (atoms + equalities) combine both behaviours, and a
+//!   disjunct whose comparisons do not hold under the match can never be
+//!   repaired — also a failure. (These arise from greedy-ded scenarios.)
+//!
+//! For weakly-acyclic programs the result is a **universal solution** in the
+//! sense of Fagin–Kolaitis–Miller–Popa; termination for arbitrary programs
+//! is enforced by the round budget.
+
+use grom_data::{Instance, NullGenerator, Value};
+use grom_lang::{Bindings, Dependency, Term, Var};
+
+use grom_engine::{disjunct_satisfied, evaluate_body_streaming, Control, Db};
+
+use crate::config::ChaseConfig;
+use crate::nullmap::{NullMap, Unify};
+use crate::result::{ChaseError, ChaseResult, ChaseStats};
+
+/// Reject dependencies the standard chase cannot execute.
+pub(crate) fn check_executable(dep: &Dependency, allow_deds: bool) -> Result<(), ChaseError> {
+    if dep.has_negated_premise() {
+        return Err(ChaseError::NotExecutable {
+            dependency: dep.name.clone(),
+            reason: "premise contains negated literals; run the rewriter first".into(),
+        });
+    }
+    if !allow_deds && dep.disjuncts.len() > 1 {
+        return Err(ChaseError::NotExecutable {
+            dependency: dep.name.clone(),
+            reason: "disjunctive conclusion requires the ded chase".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Collect every violating premise match of `dep` in `db`.
+pub(crate) fn collect_violations(db: &impl Db, dep: &Dependency) -> Vec<Bindings> {
+    let mut out = Vec::new();
+    evaluate_body_streaming(db, &dep.premise, &Bindings::new(), |b| {
+        if !dep.disjuncts.iter().any(|d| disjunct_satisfied(db, d, b)) {
+            out.push(b.clone());
+        }
+        Control::Continue
+    });
+    out
+}
+
+/// Resolve every value of a binding through the null map (bindings become
+/// stale when egds merge nulls after the match was found).
+pub(crate) fn resolve_bindings(b: &Bindings, nm: &mut NullMap) -> Bindings {
+    let mut out = Bindings::new();
+    for (v, val) in b.iter() {
+        out.bind(v.clone(), nm.resolve(val));
+    }
+    out
+}
+
+/// Apply one disjunct to repair a violation. Returns `true` if any null
+/// merge happened (the caller must re-normalize the instance).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_disjunct(
+    inst: &mut Instance,
+    dep: &Dependency,
+    disjunct_idx: usize,
+    bindings: &Bindings,
+    nullmap: &mut NullMap,
+    nullgen: &mut NullGenerator,
+    stats: &mut ChaseStats,
+) -> Result<bool, ChaseError> {
+    let disjunct = &dep.disjuncts[disjunct_idx];
+
+    // Comparisons over premise variables: if they do not hold for this
+    // match, no repair can ever satisfy this disjunct.
+    for c in &disjunct.cmps {
+        if !bindings.eval_comparison(c).unwrap_or(false) {
+            return Err(ChaseError::Failure {
+                dependency: dep.name.clone(),
+                detail: format!("disjunct comparison `{c}` cannot be satisfied at {bindings}"),
+            });
+        }
+    }
+
+    let mut merged = false;
+
+    // Equalities.
+    for (l, r) in &disjunct.eqs {
+        let lv = eval_bound_term(l, bindings, dep)?;
+        let rv = eval_bound_term(r, bindings, dep)?;
+        match nullmap.unify(&lv, &rv) {
+            Unify::Noop => {}
+            Unify::Merged => {
+                merged = true;
+                stats.egd_merges += 1;
+            }
+            Unify::Clash(a, b) => return Err(ChaseError::clash(&dep.name, &a, &b)),
+        }
+    }
+
+    // Atoms: one fresh null per existential variable, shared across the
+    // disjunct's atoms.
+    if !disjunct.atoms.is_empty() {
+        let mut fresh: std::collections::BTreeMap<Var, Value> = Default::default();
+        for atom in &disjunct.atoms {
+            let mut row = Vec::with_capacity(atom.args.len());
+            for t in &atom.args {
+                let v = match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => match bindings.get(v) {
+                        Some(val) => nullmap.resolve(val),
+                        None => fresh
+                            .entry(v.clone())
+                            .or_insert_with(|| {
+                                stats.nulls_invented += 1;
+                                nullgen.fresh()
+                            })
+                            .clone(),
+                    },
+                };
+                row.push(v);
+            }
+            if inst.insert(&atom.predicate, row.into())? {
+                stats.tuples_inserted += 1;
+            }
+        }
+        stats.tgd_applications += 1;
+    }
+
+    Ok(merged)
+}
+
+fn eval_bound_term(
+    t: &Term,
+    bindings: &Bindings,
+    dep: &Dependency,
+) -> Result<Value, ChaseError> {
+    bindings.eval_term(t).ok_or_else(|| ChaseError::NotExecutable {
+        dependency: dep.name.clone(),
+        reason: format!("equality term `{t}` is not bound by the premise"),
+    })
+}
+
+/// Run the standard chase over `start` with `deps`.
+///
+/// `start` is the working database: for data-exchange scenarios this is the
+/// source instance (the chase adds target tuples into the same instance;
+/// source and target relation names are disjoint by construction).
+pub fn chase_standard(
+    start: Instance,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseResult, ChaseError> {
+    for dep in deps {
+        check_executable(dep, false)?;
+    }
+
+    let mut inst = start;
+    let mut stats = ChaseStats::default();
+    let mut nullgen =
+        NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
+    let mut nullmap = NullMap::new();
+
+    loop {
+        if stats.rounds >= config.max_rounds {
+            return Err(ChaseError::RoundLimit {
+                rounds: stats.rounds,
+            });
+        }
+        stats.rounds += 1;
+        let mut progressed = false;
+
+        for dep in deps {
+            if dep.is_denial() {
+                if let Some(v) = grom_engine::find_violation(&inst, dep) {
+                    return Err(ChaseError::Failure {
+                        dependency: dep.name.clone(),
+                        detail: format!("denial premise matched at {}", v.bindings),
+                    });
+                }
+                continue;
+            }
+            // `check_executable` guarantees exactly one disjunct here; a
+            // trivially-true empty disjunct has no violations by definition.
+            let violations = collect_violations(&inst, dep);
+            if violations.is_empty() {
+                continue;
+            }
+            let mut any_merge = false;
+            for b in &violations {
+                let b = resolve_bindings(b, &mut nullmap);
+                // Re-check: earlier repairs in this batch (or merges) may
+                // have satisfied this match already. Note the instance may
+                // still contain stale nulls mid-batch; that only makes this
+                // check conservative (it may repair redundantly, and the
+                // final substitution merges the duplicates).
+                if disjunct_satisfied(&inst, &dep.disjuncts[0], &b) {
+                    continue;
+                }
+                let merged =
+                    apply_disjunct(&mut inst, dep, 0, &b, &mut nullmap, &mut nullgen, &mut stats)?;
+                any_merge |= merged;
+                progressed = true;
+            }
+            if any_merge {
+                inst.substitute_nulls(|id| nullmap.lookup(id));
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+
+    Ok(ChaseResult {
+        instance: inst,
+        stats,
+    })
+}
+
+/// Convenience for tests: do all `deps` hold in `inst`?
+pub fn all_satisfied(inst: &Instance, deps: &[Dependency]) -> bool {
+    deps.iter()
+        .all(|d| grom_engine::dependency_satisfied(inst, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_data::Tuple;
+    use grom_lang::parser::{parse_dependency, parse_program};
+
+    fn inst(facts: &[(&str, &[i64])]) -> Instance {
+        let mut i = Instance::new();
+        for (rel, vals) in facts {
+            i.add(*rel, vals.iter().map(|&v| Value::int(v)).collect())
+                .unwrap();
+        }
+        i
+    }
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn copy_tgd() {
+        let dep = parse_dependency("tgd m: S(x, y) -> T(x, y).").unwrap();
+        let res = chase_standard(inst(&[("S", &[1, 2]), ("S", &[3, 4])]), std::slice::from_ref(&dep), &cfg())
+            .unwrap();
+        assert!(res.instance.contains_fact("T", &Tuple::new(vec![Value::int(1), Value::int(2)])));
+        assert!(res.instance.contains_fact("T", &Tuple::new(vec![Value::int(3), Value::int(4)])));
+        assert!(all_satisfied(&res.instance, &[dep]));
+        assert_eq!(res.stats.tuples_inserted, 2);
+        assert_eq!(res.stats.nulls_invented, 0);
+    }
+
+    #[test]
+    fn existential_tgd_invents_nulls() {
+        let dep = parse_dependency("tgd m: S(x) -> T(x, y), U(y).").unwrap();
+        let res = chase_standard(inst(&[("S", &[1])]), std::slice::from_ref(&dep), &cfg()).unwrap();
+        // One shared fresh null across both conclusion atoms.
+        assert_eq!(res.stats.nulls_invented, 1);
+        let t: Vec<_> = res.instance.tuples("T").collect();
+        let u: Vec<_> = res.instance.tuples("U").collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(u.len(), 1);
+        assert_eq!(t[0].get(1), u[0].get(0));
+        assert!(t[0].get(1).unwrap().is_null());
+        assert!(all_satisfied(&res.instance, &[dep]));
+    }
+
+    #[test]
+    fn restricted_chase_is_idempotent() {
+        let dep = parse_dependency("tgd m: S(x) -> T(x, y).").unwrap();
+        let res = chase_standard(inst(&[("S", &[1])]), std::slice::from_ref(&dep), &cfg()).unwrap();
+        let nulls_before = res.stats.nulls_invented;
+        let res2 = chase_standard(res.instance, &[dep], &cfg()).unwrap();
+        // Nothing new: the conclusion is already witnessed.
+        assert_eq!(res2.stats.nulls_invented, 0);
+        assert_eq!(res2.stats.tuples_inserted, 0);
+        assert_eq!(nulls_before, 1);
+    }
+
+    #[test]
+    fn egd_merges_null_with_constant() {
+        // First tgd invents a null for y; then a second source tuple fixes
+        // the value via the egd on T's key.
+        let m = parse_dependency("tgd m: S(x) -> T(x, y).").unwrap();
+        let k = parse_dependency("tgd k: S2(x, y) -> T(x, y).").unwrap();
+        let e = parse_dependency("egd e: T(x, y1), T(x, y2) -> y1 = y2.").unwrap();
+        let start = inst(&[("S", &[1]), ("S2", &[1, 42])]);
+        let res = chase_standard(start, &[m.clone(), k.clone(), e.clone()], &cfg()).unwrap();
+        let t: Vec<_> = res.instance.tuples("T").collect();
+        assert_eq!(t.len(), 1, "null tuple must merge with constant tuple: {t:?}");
+        assert_eq!(t[0].get(1), Some(&Value::int(42)));
+        assert!(res.stats.egd_merges >= 1);
+        assert!(all_satisfied(&res.instance, &[m, k, e]));
+    }
+
+    #[test]
+    fn egd_clash_fails() {
+        let e = parse_dependency("egd e: T(x, y1), T(x, y2) -> y1 = y2.").unwrap();
+        let start = inst(&[("T", &[1, 10]), ("T", &[1, 20])]);
+        match chase_standard(start, &[e], &cfg()) {
+            Err(ChaseError::Failure { dependency, .. }) => {
+                assert_eq!(dependency.as_ref(), "e");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn egd_merges_two_nulls() {
+        let m1 = parse_dependency("tgd a: S(x) -> T(x, y).").unwrap();
+        let m2 = parse_dependency("tgd b: S(x) -> U(x, y).").unwrap();
+        let e = parse_dependency("egd e: T(x, y1), U(x, y2) -> y1 = y2.").unwrap();
+        let res =
+            chase_standard(inst(&[("S", &[1])]), &[m1, m2, e.clone()], &cfg()).unwrap();
+        let t: Vec<_> = res.instance.tuples("T").collect();
+        let u: Vec<_> = res.instance.tuples("U").collect();
+        assert_eq!(t[0].get(1), u[0].get(1));
+        assert!(t[0].get(1).unwrap().is_null());
+        assert!(grom_engine::dependency_satisfied(&res.instance, &e));
+    }
+
+    #[test]
+    fn denial_fails_on_match() {
+        let n = parse_dependency("dep n: T(x, x) -> false.").unwrap();
+        let ok = chase_standard(inst(&[("T", &[1, 2])]), std::slice::from_ref(&n), &cfg());
+        assert!(ok.is_ok());
+        let bad = chase_standard(inst(&[("T", &[3, 3])]), &[n], &cfg());
+        assert!(matches!(bad, Err(ChaseError::Failure { .. })));
+    }
+
+    #[test]
+    fn denial_triggered_by_tgd_output() {
+        // The tgd produces T(x, x) which the denial forbids.
+        let m = parse_dependency("tgd m: S(x) -> T(x, x).").unwrap();
+        let n = parse_dependency("dep n: T(x, x) -> false.").unwrap();
+        let res = chase_standard(inst(&[("S", &[1])]), &[m, n], &cfg());
+        assert!(matches!(res, Err(ChaseError::Failure { .. })));
+    }
+
+    #[test]
+    fn foreign_key_chain_terminates() {
+        // Dept(d) -> Emp(e, d); Emp(e, d) -> Dept(d): weakly acyclic pair.
+        let p = parse_program(
+            "tgd a: Dept(d) -> Emp(e, d).\n\
+             tgd b: Emp(e, d) -> Dept(d).",
+        )
+        .unwrap();
+        let res = chase_standard(inst(&[("Dept", &[1])]), &p.deps, &cfg()).unwrap();
+        assert_eq!(res.instance.tuples("Emp").count(), 1);
+        assert_eq!(res.instance.tuples("Dept").count(), 1);
+    }
+
+    #[test]
+    fn non_terminating_program_hits_round_limit() {
+        // R(x, y) -> R(y, z): each application invents a new null — the
+        // classic non-weakly-acyclic example.
+        let dep = parse_dependency("tgd m: R(x, y) -> R(y, z).").unwrap();
+        let res = chase_standard(
+            inst(&[("R", &[1, 2])]),
+            &[dep],
+            &ChaseConfig::default().with_max_rounds(20),
+        );
+        assert!(matches!(res, Err(ChaseError::RoundLimit { rounds: 20 })));
+    }
+
+    #[test]
+    fn negated_premise_rejected() {
+        let dep = parse_dependency("dep m: S(x), not B(x) -> T(x).").unwrap();
+        let res = chase_standard(inst(&[("S", &[1])]), &[dep], &cfg());
+        assert!(matches!(res, Err(ChaseError::NotExecutable { .. })));
+    }
+
+    #[test]
+    fn ded_rejected_by_standard_chase() {
+        let dep = parse_dependency("ded d: S(x) -> T(x) | U(x).").unwrap();
+        let res = chase_standard(inst(&[("S", &[1])]), &[dep], &cfg());
+        assert!(matches!(res, Err(ChaseError::NotExecutable { .. })));
+    }
+
+    #[test]
+    fn premise_comparisons_gate_matches() {
+        let p = parse_program(
+            "tgd lo: S(x, r), r < 2 -> Low(x).\n\
+             tgd hi: S(x, r), r >= 4 -> High(x).",
+        )
+        .unwrap();
+        let start = inst(&[("S", &[1, 1]), ("S", &[2, 3]), ("S", &[3, 5])]);
+        let res = chase_standard(start, &p.deps, &cfg()).unwrap();
+        let low: Vec<_> = res.instance.tuples("Low").collect();
+        let high: Vec<_> = res.instance.tuples("High").collect();
+        assert_eq!(low.len(), 1);
+        assert_eq!(low[0].get(0), Some(&Value::int(1)));
+        assert_eq!(high.len(), 1);
+        assert_eq!(high[0].get(0), Some(&Value::int(3)));
+    }
+
+    #[test]
+    fn mixed_disjunct_applies_atoms_and_equalities() {
+        let dep = parse_dependency("dep d: S(x, y) -> T(x, z), x = y.").unwrap();
+        // x = y holds only when the S tuple is diagonal; otherwise clash.
+        let res = chase_standard(inst(&[("S", &[1, 1])]), std::slice::from_ref(&dep), &cfg()).unwrap();
+        assert_eq!(res.instance.tuples("T").count(), 1);
+        let res = chase_standard(inst(&[("S", &[1, 2])]), &[dep], &cfg());
+        assert!(matches!(res, Err(ChaseError::Failure { .. })));
+    }
+
+    #[test]
+    fn disjunct_comparison_violation_is_failure() {
+        // Derived-scenario shape: conclusion requires y != 0 which is
+        // unsatisfiable for the match (1, 0).
+        let dep = parse_dependency("dep d: S(x, y) -> T(x), y != 0.").unwrap();
+        let res = chase_standard(inst(&[("S", &[1, 0])]), &[dep], &cfg());
+        assert!(matches!(res, Err(ChaseError::Failure { .. })));
+    }
+
+    #[test]
+    fn chase_cascades_through_dependencies() {
+        let p = parse_program(
+            "tgd a: S(x) -> A(x).\n\
+             tgd b: A(x) -> B(x).\n\
+             tgd c: B(x) -> C(x).",
+        )
+        .unwrap();
+        let res = chase_standard(inst(&[("S", &[7])]), &p.deps, &cfg()).unwrap();
+        assert!(res.instance.contains_fact("C", &Tuple::new(vec![Value::int(7)])));
+        // Cascade completes within few rounds.
+        assert!(res.stats.rounds <= 4, "rounds = {}", res.stats.rounds);
+    }
+
+    #[test]
+    fn egd_substitution_reaches_all_relations() {
+        let m = parse_dependency("tgd m: S(x) -> T(x, y), U(y, x).").unwrap();
+        let k = parse_dependency("tgd k: S2(x, y) -> T(x, y).").unwrap();
+        let e = parse_dependency("egd e: T(x, a), T(x, b) -> a = b.").unwrap();
+        let start = inst(&[("S", &[1]), ("S2", &[1, 9])]);
+        let res = chase_standard(start, &[m, k, e], &cfg()).unwrap();
+        // The null propagated into U must also have been replaced by 9.
+        let u: Vec<_> = res.instance.tuples("U").collect();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].get(0), Some(&Value::int(9)));
+    }
+}

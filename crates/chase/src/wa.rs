@@ -1,0 +1,238 @@
+//! Weak acyclicity: the classical sufficient condition for chase
+//! termination (Fagin, Kolaitis, Miller, Popa, *Data Exchange: Semantics
+//! and Query Answering*).
+//!
+//! Build the **position graph**: nodes are positions `(predicate, column)`.
+//! For every dependency and every disjunct of its conclusion, for every
+//! universal variable `x` that occurs in the disjunct's atoms:
+//!
+//! * a **regular edge** from each premise position of `x` to each conclusion
+//!   position of `x`;
+//! * a **special edge** from each premise position of `x` to each position
+//!   of every *existential* variable of the disjunct.
+//!
+//! The program is weakly acyclic iff no cycle goes through a special edge;
+//! then the chase terminates in polynomially many steps. Deds are handled
+//! by treating each disjunct as a separate tgd head — if every branch is
+//! weakly acyclic, every greedy-chase scenario terminates.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use grom_lang::{Dependency, Literal, Term, Var};
+
+/// A position `(predicate, column index)` in the position graph.
+pub type Position = (Arc<str>, usize);
+
+/// The outcome of the analysis.
+#[derive(Debug, Clone)]
+pub struct WeakAcyclicityReport {
+    pub weakly_acyclic: bool,
+    /// For non-weakly-acyclic programs: a special edge that lies on a cycle.
+    pub witness: Option<(Position, Position)>,
+    /// Number of positions in the graph.
+    pub positions: usize,
+    pub regular_edges: usize,
+    pub special_edges: usize,
+}
+
+impl fmt::Display for WeakAcyclicityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.weakly_acyclic {
+            write!(
+                f,
+                "weakly acyclic ({} positions, {} regular + {} special edges)",
+                self.positions, self.regular_edges, self.special_edges
+            )
+        } else {
+            let (u, v) = self.witness.as_ref().expect("witness for non-WA");
+            write!(
+                f,
+                "NOT weakly acyclic: special edge {}#{} -> {}#{} lies on a cycle",
+                u.0, u.1, v.0, v.1
+            )
+        }
+    }
+}
+
+/// Positions of each variable in the positive premise literals.
+fn premise_positions(dep: &Dependency) -> BTreeMap<Var, Vec<Position>> {
+    let mut out: BTreeMap<Var, Vec<Position>> = BTreeMap::new();
+    for lit in &dep.premise {
+        if let Literal::Pos(a) = lit {
+            for (i, t) in a.args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    out.entry(v.clone()).or_default().push((a.predicate.clone(), i));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Analyze a set of dependencies for weak acyclicity.
+pub fn is_weakly_acyclic(deps: &[Dependency]) -> WeakAcyclicityReport {
+    let mut regular: BTreeSet<(Position, Position)> = BTreeSet::new();
+    let mut special: BTreeSet<(Position, Position)> = BTreeSet::new();
+
+    for dep in deps {
+        let prem = premise_positions(dep);
+        let universal: BTreeSet<Var> = prem.keys().cloned().collect();
+        for disjunct in &dep.disjuncts {
+            // Conclusion positions per variable, and the existential set.
+            let mut concl: BTreeMap<Var, Vec<Position>> = BTreeMap::new();
+            for a in &disjunct.atoms {
+                for (i, t) in a.args.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        concl
+                            .entry(v.clone())
+                            .or_default()
+                            .push((a.predicate.clone(), i));
+                    }
+                }
+            }
+            let existential: Vec<&Var> =
+                concl.keys().filter(|v| !universal.contains(*v)).collect();
+            for (x, x_concl) in &concl {
+                if !universal.contains(x) {
+                    continue;
+                }
+                let Some(x_prem) = prem.get(x) else { continue };
+                for p in x_prem {
+                    for q in x_concl {
+                        regular.insert((p.clone(), q.clone()));
+                    }
+                    for y in &existential {
+                        for q in &concl[*y] {
+                            special.insert((p.clone(), q.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect nodes and adjacency.
+    let mut nodes: BTreeSet<Position> = BTreeSet::new();
+    for (u, v) in regular.iter().chain(special.iter()) {
+        nodes.insert(u.clone());
+        nodes.insert(v.clone());
+    }
+    let mut adj: BTreeMap<&Position, Vec<&Position>> = BTreeMap::new();
+    for (u, v) in regular.iter().chain(special.iter()) {
+        adj.entry(u).or_default().push(v);
+    }
+
+    // A special edge (u, v) lies on a cycle iff u is reachable from v.
+    let reaches = |from: &Position, to: &Position| -> bool {
+        let mut seen: BTreeSet<&Position> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if let Some(next) = adj.get(n) {
+                for m in next {
+                    if seen.insert(m) {
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+        false
+    };
+
+    let mut witness = None;
+    for (u, v) in &special {
+        if reaches(v, u) {
+            witness = Some((u.clone(), v.clone()));
+            break;
+        }
+    }
+
+    WeakAcyclicityReport {
+        weakly_acyclic: witness.is_none(),
+        witness,
+        positions: nodes.len(),
+        regular_edges: regular.len(),
+        special_edges: special.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_lang::parser::{parse_dependency, parse_program};
+
+    #[test]
+    fn copy_tgd_is_weakly_acyclic() {
+        let dep = parse_dependency("tgd m: S(x, y) -> T(x, y).").unwrap();
+        let r = is_weakly_acyclic(&[dep]);
+        assert!(r.weakly_acyclic);
+        assert_eq!(r.special_edges, 0);
+    }
+
+    #[test]
+    fn classic_non_terminating_tgd_detected() {
+        // R(x, y) -> R(y, z): special edge into R#1 from R#1 via cycle.
+        let dep = parse_dependency("tgd m: R(x, y) -> R(y, z).").unwrap();
+        let r = is_weakly_acyclic(&[dep]);
+        assert!(!r.weakly_acyclic);
+        assert!(r.witness.is_some());
+    }
+
+    #[test]
+    fn fk_pair_is_weakly_acyclic() {
+        let p = parse_program(
+            "tgd a: Dept(d) -> Emp(e, d).\n\
+             tgd b: Emp(e, d) -> Dept(d).",
+        )
+        .unwrap();
+        let r = is_weakly_acyclic(&p.deps);
+        assert!(r.weakly_acyclic, "{r}");
+        assert!(r.special_edges >= 1);
+    }
+
+    #[test]
+    fn mutual_null_creation_detected() {
+        // A(x) -> B(x, y); B(x, y) -> A(y): nulls feed back into A#0.
+        let p = parse_program(
+            "tgd a: A(x) -> B(x, y).\n\
+             tgd b: B(x, y) -> A(y).",
+        )
+        .unwrap();
+        let r = is_weakly_acyclic(&p.deps);
+        assert!(!r.weakly_acyclic);
+    }
+
+    #[test]
+    fn egds_and_denials_contribute_nothing() {
+        let p = parse_program(
+            "egd e: T(x, a), T(x, b) -> a = b.\n\
+             dep n: T(x, x) -> false.",
+        )
+        .unwrap();
+        let r = is_weakly_acyclic(&p.deps);
+        assert!(r.weakly_acyclic);
+        assert_eq!(r.positions, 0);
+    }
+
+    #[test]
+    fn ded_branches_analyzed_separately() {
+        // Safe branch plus a self-feeding branch: the ded is not WA.
+        let dep = parse_dependency("ded d: R(x, y) -> S(x) | R(y, z).").unwrap();
+        let r = is_weakly_acyclic(&[dep]);
+        assert!(!r.weakly_acyclic);
+    }
+
+    #[test]
+    fn display_reports() {
+        let dep = parse_dependency("tgd m: S(x) -> T(x, y).").unwrap();
+        let r = is_weakly_acyclic(&[dep]);
+        assert!(r.to_string().contains("weakly acyclic"));
+        let dep = parse_dependency("tgd m: R(x, y) -> R(y, z).").unwrap();
+        let r = is_weakly_acyclic(&[dep]);
+        assert!(r.to_string().contains("NOT weakly acyclic"));
+    }
+}

@@ -1,0 +1,205 @@
+//! The `grom` command-line tool: the scriptable counterpart of the demo's
+//! GUI (Figure 3 of the paper).
+//!
+//! ```text
+//! grom rewrite  <scenario.grom>                      print the rewritten program
+//! grom analyze  <scenario.grom>                      restriction report (problematic views)
+//! grom run      <scenario.grom> [data.facts]         full pipeline; prints J_T
+//!               [--core] [--no-validate] [--quiet]
+//! grom validate <scenario.grom> <source.facts> <target.facts>
+//!                                                    check an existing solution
+//! ```
+//!
+//! Scenario files use the language documented in `grom_lang::parser`; data
+//! files are fact-per-line (`grom_data::io`). A scenario's inline `fact`s
+//! are always loaded; a data file adds to them.
+
+use std::process::ExitCode;
+
+use grom::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  grom rewrite  <scenario.grom>\n  grom analyze  <scenario.grom>\n  \
+         grom run      <scenario.grom> [data.facts] [--core] [--no-validate] [--quiet]\n  \
+         grom validate <scenario.grom> <source.facts> <target.facts>"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("grom: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Program::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_scenario(path: &str) -> Result<(MappingScenario, Instance), String> {
+    let program = load_program(path)?;
+    let mut inline = Instance::new();
+    for f in &program.facts {
+        inline
+            .insert_fact(f.clone())
+            .map_err(|e| format!("{path}: inline facts: {e}"))?;
+    }
+    let scenario =
+        MappingScenario::from_program(&program).map_err(|e| format!("{path}: {e}"))?;
+    Ok((scenario, inline))
+}
+
+fn load_facts(path: &str) -> Result<Instance, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    grom::data::read_instance(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_rewrite(path: &str) -> ExitCode {
+    let (scenario, _) = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let out = match scenario.rewrite(&RewriteOptions::default()) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    for dep in &out.deps {
+        println!("[{}] {}", dep.class(), dep);
+    }
+    if !out.warnings.is_empty() {
+        eprintln!("\nwarnings (sound strengthenings):");
+        for w in &out.warnings {
+            eprintln!("  {w}");
+        }
+    }
+    for (name, causes) in &out.ded_causes {
+        let causes: Vec<String> = causes.iter().map(|c| c.to_string()).collect();
+        eprintln!("ded `{name}` caused by: {}", causes.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(path: &str) -> ExitCode {
+    let (scenario, _) = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let deps: Vec<Dependency> = scenario.all_dependencies().cloned().collect();
+    match analyze(&scenario.target_views, &deps, &RewriteOptions::default()) {
+        Ok((report, _)) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
+    let mut data_file: Option<&str> = None;
+    let mut core = false;
+    let mut no_validate = false;
+    let mut quiet = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--core" => core = true,
+            "--no-validate" => no_validate = true,
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => {
+                return fail(format!("unknown flag `{flag}`"));
+            }
+            file => data_file = Some(file),
+        }
+    }
+
+    let (scenario, mut source) = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if let Some(f) = data_file {
+        match load_facts(f) {
+            Ok(extra) => {
+                if let Err(e) = source.absorb(&extra) {
+                    return fail(e);
+                }
+            }
+            Err(e) => return fail(e),
+        }
+    }
+
+    let options = PipelineOptions {
+        skip_validation: no_validate,
+        core_minimize: core,
+        ..Default::default()
+    };
+    match scenario.run(&source, &options) {
+        Ok(result) => {
+            print!("{}", result.target);
+            if !quiet {
+                eprintln!("chase: {}", result.chase_stats);
+                eprintln!("termination: {}", result.wa_report);
+                if let Some(cs) = &result.core_stats {
+                    eprintln!(
+                        "core: folded {} nulls, removed {} tuples",
+                        cs.nulls_folded, cs.tuples_removed
+                    );
+                }
+                if let Some(v) = &result.validation {
+                    eprintln!("{v}");
+                }
+            }
+            if result.validation.map(|v| !v.ok).unwrap_or(false) {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_validate(scenario_path: &str, source_path: &str, target_path: &str) -> ExitCode {
+    let (scenario, inline) = match load_scenario(scenario_path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let mut source = inline;
+    match load_facts(source_path) {
+        Ok(s) => {
+            if let Err(e) = source.absorb(&s) {
+                return fail(e);
+            }
+        }
+        Err(e) => return fail(e),
+    }
+    let target = match load_facts(target_path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    match validate_solution(&scenario, &source, &target) {
+        Ok(report) => {
+            println!("{report}");
+            if report.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match (cmd.as_str(), rest) {
+            ("rewrite", [path]) => cmd_rewrite(path),
+            ("analyze", [path]) => cmd_analyze(path),
+            ("run", [path, rest @ ..]) => cmd_run(path, rest),
+            ("validate", [sc, src, tgt]) => cmd_validate(sc, src, tgt),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

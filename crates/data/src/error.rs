@@ -1,0 +1,66 @@
+//! Errors raised by the relational substrate.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::schema::ColumnType;
+use crate::value::Value;
+
+/// Errors raised when building schemas or inserting data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation name was declared twice in the same schema.
+    DuplicateRelation { relation: Arc<str> },
+    /// A column name was declared twice in the same relation.
+    DuplicateColumn { relation: Arc<str>, column: String },
+    /// A fact refers to a relation the schema does not declare.
+    UnknownRelation { relation: Arc<str> },
+    /// A fact has the wrong number of values for its relation.
+    ArityMismatch {
+        relation: Arc<str>,
+        expected: usize,
+        actual: usize,
+    },
+    /// A value does not conform to the declared column type.
+    TypeMismatch {
+        relation: Arc<str>,
+        column: String,
+        expected: ColumnType,
+        actual: Value,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateRelation { relation } => {
+                write!(f, "relation `{relation}` declared more than once")
+            }
+            DataError::DuplicateColumn { relation, column } => {
+                write!(f, "column `{column}` declared more than once in relation `{relation}`")
+            }
+            DataError::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected}, got a tuple of width {actual}"
+            ),
+            DataError::TypeMismatch {
+                relation,
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "value {actual} does not fit column `{relation}.{column}` of type {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,447 @@
+//! In-memory database instances.
+//!
+//! An [`Instance`] maps relation names to [`Relation`]s: deduplicated,
+//! insertion-ordered tuple sets with eager per-column hash indexes. The
+//! indexes are what make the nested-loop joins of `grom-engine` and the
+//! violation search of `grom-chase` tolerable on instances with hundreds of
+//! thousands of tuples.
+//!
+//! Instances are *schema-less* at this layer: the first tuple inserted into
+//! a relation fixes its arity, and later inserts are checked against it.
+//! Typed validation against a [`crate::schema::Schema`] is performed by the
+//! scenario loader in `grom` (the core crate), which knows which schema an
+//! instance is supposed to populate.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::DataError;
+use crate::tuple::{Fact, Tuple};
+use crate::value::{NullId, Value};
+
+/// One relation: an insertion-ordered set of tuples plus per-column indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Tuples in insertion order. Never contains duplicates.
+    rows: Vec<Tuple>,
+    /// Tuple → position in `rows`, for O(1) membership tests.
+    positions: HashMap<Tuple, u32>,
+    /// `indexes[c][v]` = row ids whose column `c` holds value `v`.
+    indexes: Vec<HashMap<Value, Vec<u32>>>,
+    arity: Option<usize>,
+}
+
+impl Relation {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The arity fixed by the first insert, if any tuple was ever inserted.
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.positions.contains_key(tuple)
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` if it was new, `Ok(false)` if it
+    /// was already present, and an arity error if it does not match the
+    /// relation's fixed width.
+    fn insert(&mut self, relation: &Arc<str>, tuple: Tuple) -> Result<bool, DataError> {
+        match self.arity {
+            None => {
+                let a = tuple.arity();
+                self.arity = Some(a);
+                self.indexes = vec![HashMap::new(); a];
+            }
+            Some(a) if a != tuple.arity() => {
+                return Err(DataError::ArityMismatch {
+                    relation: relation.clone(),
+                    expected: a,
+                    actual: tuple.arity(),
+                });
+            }
+            Some(_) => {}
+        }
+        if self.positions.contains_key(&tuple) {
+            return Ok(false);
+        }
+        let row_id = self.rows.len() as u32;
+        for (c, v) in tuple.values().iter().enumerate() {
+            self.indexes[c].entry(v.clone()).or_default().push(row_id);
+        }
+        self.positions.insert(tuple.clone(), row_id);
+        self.rows.push(tuple);
+        Ok(true)
+    }
+
+    /// Iterate over tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Row ids whose column `col` equals `value` (possibly empty).
+    fn rows_with(&self, col: usize, value: &Value) -> &[u32] {
+        self.indexes
+            .get(col)
+            .and_then(|ix| ix.get(value))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Tuples matching a pattern: `pattern[i] = Some(v)` requires column `i`
+    /// to equal `v`; `None` leaves it unconstrained.
+    ///
+    /// Uses the most selective available column index; falls back to a full
+    /// scan when the pattern is entirely unbound.
+    pub fn scan<'a>(&'a self, pattern: &[Option<Value>]) -> Vec<&'a Tuple> {
+        debug_assert_eq!(Some(pattern.len()), self.arity.or(Some(pattern.len())));
+        // Pick the bound column with the fewest candidate rows.
+        let best = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, slot)| {
+                slot.as_ref().map(|v| (c, v, self.rows_with(c, v).len()))
+            })
+            .min_by_key(|&(_, _, n)| n);
+        let matches = |t: &Tuple| {
+            pattern
+                .iter()
+                .zip(t.values())
+                .all(|(slot, v)| slot.as_ref().is_none_or(|s| s == v))
+        };
+        match best {
+            Some((c, v, _)) => self
+                .rows_with(c, v)
+                .iter()
+                .map(|&r| &self.rows[r as usize])
+                .filter(|t| matches(t))
+                .collect(),
+            None => self.rows.iter().filter(|t| matches(t)).collect(),
+        }
+    }
+
+    /// An upper bound on the number of tuples matching `pattern`, computed
+    /// from the column indexes without touching any tuple: the smallest
+    /// index bucket among the bound columns, or the relation size when the
+    /// pattern is entirely unbound. The join planner in `grom-engine` uses
+    /// this as its cardinality estimate.
+    pub fn estimate(&self, pattern: &[Option<Value>]) -> usize {
+        pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, slot)| slot.as_ref().map(|v| self.rows_with(c, v).len()))
+            .min()
+            .unwrap_or_else(|| self.len())
+    }
+
+    /// Does any tuple match the pattern? Cheaper than [`Relation::scan`]
+    /// when only existence matters (negated literals, denial checks).
+    pub fn any_match(&self, pattern: &[Option<Value>]) -> bool {
+        let best = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, slot)| {
+                slot.as_ref().map(|v| (c, v, self.rows_with(c, v).len()))
+            })
+            .min_by_key(|&(_, _, n)| n);
+        let matches = |t: &Tuple| {
+            pattern
+                .iter()
+                .zip(t.values())
+                .all(|(slot, v)| slot.as_ref().is_none_or(|s| s == v))
+        };
+        match best {
+            Some((c, v, _)) => self
+                .rows_with(c, v)
+                .iter()
+                .any(|&r| matches(&self.rows[r as usize])),
+            None => self.rows.iter().any(matches),
+        }
+    }
+}
+
+/// A database instance: relation name → [`Relation`].
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    relations: BTreeMap<Arc<str>, Relation>,
+}
+
+impl Instance {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an instance from an iterator of facts.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Result<Self, DataError> {
+        let mut inst = Instance::new();
+        for f in facts {
+            inst.insert_fact(f)?;
+        }
+        Ok(inst)
+    }
+
+    /// Insert a fact; returns whether it was new.
+    pub fn insert_fact(&mut self, fact: Fact) -> Result<bool, DataError> {
+        self.insert(&fact.relation, fact.tuple)
+    }
+
+    /// Insert a tuple into `relation`; returns whether it was new.
+    pub fn insert(
+        &mut self,
+        relation: &Arc<str>,
+        tuple: Tuple,
+    ) -> Result<bool, DataError> {
+        self.relations
+            .entry(relation.clone())
+            .or_default()
+            .insert(relation, tuple)
+    }
+
+    /// Convenience insert with a `&str` relation name and raw values.
+    pub fn add(
+        &mut self,
+        relation: impl AsRef<str>,
+        values: Vec<Value>,
+    ) -> Result<bool, DataError> {
+        self.insert(&Arc::from(relation.as_ref()), Tuple::new(values))
+    }
+
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Tuples of `name`, or an empty iterator if the relation is absent.
+    pub fn tuples(&self, name: &str) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(name).into_iter().flat_map(Relation::iter)
+    }
+
+    pub fn contains_fact(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.relations
+            .get(relation)
+            .is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Relation names present in this instance (sorted).
+    pub fn relation_names(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.relations.keys()
+    }
+
+    /// All facts, grouped by relation (sorted) and then insertion order.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(name, rel)| {
+            rel.iter().map(move |t| Fact {
+                relation: name.clone(),
+                tuple: t.clone(),
+            })
+        })
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge all facts of `other` into `self`.
+    pub fn absorb(&mut self, other: &Instance) -> Result<(), DataError> {
+        for (name, rel) in &other.relations {
+            for t in rel.iter() {
+                self.insert(name, t.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The union of two instances as a new instance.
+    pub fn union(&self, other: &Instance) -> Result<Instance, DataError> {
+        let mut out = self.clone();
+        out.absorb(other)?;
+        Ok(out)
+    }
+
+    /// The largest null label occurring anywhere, if any. Chase runs over an
+    /// instance that already contains nulls start their generator above it.
+    pub fn max_null_label(&self) -> Option<u64> {
+        self.relations
+            .values()
+            .flat_map(|r| r.iter())
+            .flat_map(|t| t.nulls())
+            .map(|NullId(l)| l)
+            .max()
+    }
+
+    /// Apply a null substitution everywhere, rebuilding every touched
+    /// relation. Tuples that become equal after substitution are merged.
+    ///
+    /// This is the instance-level half of egd enforcement: the chase decides
+    /// which labels map to which values (union-find in `grom-chase`) and
+    /// calls this to normalize the instance.
+    pub fn substitute_nulls(&mut self, mut lookup: impl FnMut(NullId) -> Option<Value>) {
+        let names: Vec<Arc<str>> = self.relations.keys().cloned().collect();
+        for name in names {
+            let rel = &self.relations[&name];
+            // Fast path: skip relations where nothing changes.
+            let needs_rewrite = rel
+                .iter()
+                .any(|t| t.nulls().any(|id| lookup(id).is_some()));
+            if !needs_rewrite {
+                continue;
+            }
+            let mut rebuilt = Relation::new();
+            for t in rel.iter() {
+                let (nt, _) = t.substitute_nulls(&mut lookup);
+                rebuilt
+                    .insert(&name, nt)
+                    .expect("substitution preserves arity");
+            }
+            self.relations.insert(name, rebuilt);
+        }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            for t in rel.iter() {
+                writeln!(f, "{name}{t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::int(i)
+    }
+
+    #[test]
+    fn insert_dedup_and_len() {
+        let mut inst = Instance::new();
+        assert!(inst.add("R", vec![v(1), v(2)]).unwrap());
+        assert!(!inst.add("R", vec![v(1), v(2)]).unwrap());
+        assert!(inst.add("R", vec![v(1), v(3)]).unwrap());
+        assert_eq!(inst.len(), 2);
+        assert!(inst.contains_fact("R", &Tuple::new(vec![v(1), v(2)])));
+        assert!(!inst.contains_fact("R", &Tuple::new(vec![v(9), v(9)])));
+        assert!(!inst.contains_fact("S", &Tuple::new(vec![v(1)])));
+    }
+
+    #[test]
+    fn arity_is_fixed_by_first_insert() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![v(1), v(2)]).unwrap();
+        let err = inst.add("R", vec![v(1)]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { expected: 2, actual: 1, .. }));
+    }
+
+    #[test]
+    fn scan_uses_pattern() {
+        let mut inst = Instance::new();
+        for i in 0..10 {
+            inst.add("R", vec![v(i % 3), v(i)]).unwrap();
+        }
+        let rel = inst.relation("R").unwrap();
+        let hits = rel.scan(&[Some(v(1)), None]);
+        assert_eq!(hits.len(), 3); // i = 1, 4, 7
+        for t in hits {
+            assert_eq!(t.get(0), Some(&v(1)));
+        }
+        let exact = rel.scan(&[Some(v(2)), Some(v(5))]);
+        assert_eq!(exact.len(), 1);
+        let none = rel.scan(&[Some(v(7)), None]);
+        assert!(none.is_empty());
+        let all = rel.scan(&[None, None]);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn any_match_agrees_with_scan() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![v(1), v(2)]).unwrap();
+        let rel = inst.relation("R").unwrap();
+        assert!(rel.any_match(&[Some(v(1)), None]));
+        assert!(!rel.any_match(&[Some(v(2)), None]));
+        assert!(rel.any_match(&[None, None]));
+    }
+
+    #[test]
+    fn facts_iteration_is_deterministic() {
+        let mut inst = Instance::new();
+        inst.add("B", vec![v(1)]).unwrap();
+        inst.add("A", vec![v(2)]).unwrap();
+        inst.add("A", vec![v(1)]).unwrap();
+        let facts: Vec<String> = inst.facts().map(|f| f.to_string()).collect();
+        assert_eq!(facts, vec!["A(2)", "A(1)", "B(1)"]);
+    }
+
+    #[test]
+    fn union_and_absorb() {
+        let mut a = Instance::new();
+        a.add("R", vec![v(1)]).unwrap();
+        let mut b = Instance::new();
+        b.add("R", vec![v(1)]).unwrap();
+        b.add("S", vec![v(2)]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn substitute_nulls_merges_tuples() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![Value::null(0), v(5)]).unwrap();
+        inst.add("R", vec![v(1), v(5)]).unwrap();
+        inst.add("S", vec![Value::null(7)]).unwrap();
+        inst.substitute_nulls(|id| (id == NullId(0)).then(|| v(1)));
+        // N0 := 1 makes the two R-tuples collide; they must merge.
+        assert_eq!(inst.relation("R").unwrap().len(), 1);
+        assert!(inst.contains_fact("R", &Tuple::new(vec![v(1), v(5)])));
+        // S untouched.
+        assert!(inst.contains_fact("S", &Tuple::new(vec![Value::null(7)])));
+    }
+
+    #[test]
+    fn substitute_nulls_rebuilds_indexes() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![Value::null(0), v(5)]).unwrap();
+        inst.substitute_nulls(|id| (id == NullId(0)).then(|| v(3)));
+        let rel = inst.relation("R").unwrap();
+        assert_eq!(rel.scan(&[Some(v(3)), None]).len(), 1);
+        assert!(rel.scan(&[Some(Value::null(0)), None]).is_empty());
+    }
+
+    #[test]
+    fn max_null_label() {
+        let mut inst = Instance::new();
+        assert_eq!(inst.max_null_label(), None);
+        inst.add("R", vec![Value::null(3), Value::null(11)]).unwrap();
+        assert_eq!(inst.max_null_label(), Some(11));
+    }
+
+    #[test]
+    fn from_facts_roundtrip() {
+        let facts = vec![
+            Fact::new("R", vec![v(1), v(2)]),
+            Fact::new("R", vec![v(1), v(2)]),
+        ];
+        let inst = Instance::from_facts(facts).unwrap();
+        assert_eq!(inst.len(), 1);
+    }
+}

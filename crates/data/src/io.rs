@@ -1,0 +1,251 @@
+//! Plain-text instance I/O.
+//!
+//! Instances serialize to the same fact syntax the scenario language uses
+//! (`Relation(v1, v2, …).`, one fact per line), so data files, inline
+//! `fact` declarations and `Instance::to_string()` are interchangeable.
+//! Labeled nulls round-trip as `N<k>` tokens — useful for saving chase
+//! outputs and reloading them.
+
+use std::sync::Arc;
+
+use crate::error::DataError;
+use crate::instance::Instance;
+use crate::value::Value;
+
+/// Errors raised when reading instance files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// Syntax error with 1-based line number.
+    Syntax { line: usize, message: String },
+    /// Storage error (arity drift between facts of one relation).
+    Data(DataError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Syntax { line, message } => {
+                write!(f, "instance file, line {line}: {message}")
+            }
+            ReadError::Data(e) => write!(f, "instance file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<DataError> for ReadError {
+    fn from(e: DataError) -> Self {
+        ReadError::Data(e)
+    }
+}
+
+/// Parse one value token: integer, quoted string, boolean, or null `N<k>`.
+fn parse_value(token: &str, line: usize) -> Result<Value, ReadError> {
+    let t = token.trim();
+    if t.is_empty() {
+        return Err(ReadError::Syntax {
+            line,
+            message: "empty value".into(),
+        });
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Value::int(i));
+    }
+    if t == "true" {
+        return Ok(Value::bool(true));
+    }
+    if t == "false" {
+        return Ok(Value::bool(false));
+    }
+    if let Some(rest) = t.strip_prefix('N') {
+        if let Ok(label) = rest.parse::<u64>() {
+            return Ok(Value::null(label));
+        }
+    }
+    if (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
+        || (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2)
+    {
+        let inner = &t[1..t.len() - 1];
+        return Ok(Value::str(
+            inner.replace("\\\"", "\"").replace("\\'", "'").replace("\\\\", "\\"),
+        ));
+    }
+    Err(ReadError::Syntax {
+        line,
+        message: format!("cannot parse value `{t}` (quote strings)"),
+    })
+}
+
+/// Split a comma-separated argument list, honoring quotes.
+fn split_args(body: &str, line: usize) -> Result<Vec<String>, ReadError> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut quote: Option<char> = None;
+    let mut escaped = false;
+    for c in body.chars() {
+        match quote {
+            Some(q) => {
+                current.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => {
+                    quote = Some(c);
+                    current.push(c);
+                }
+                ',' => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => current.push(c),
+            },
+        }
+    }
+    if quote.is_some() {
+        return Err(ReadError::Syntax {
+            line,
+            message: "unterminated string".into(),
+        });
+    }
+    if !current.trim().is_empty() || !out.is_empty() {
+        out.push(current);
+    }
+    Ok(out)
+}
+
+/// Read an instance from fact-per-line text. Blank lines and `#`/`//`
+/// comments are ignored; the trailing `.` is optional.
+pub fn read_instance(text: &str) -> Result<Instance, ReadError> {
+    let mut inst = Instance::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let line = line.strip_suffix('.').unwrap_or(line).trim_end();
+        let open = line.find('(').ok_or_else(|| ReadError::Syntax {
+            line: line_no,
+            message: "expected `Relation(...)`".into(),
+        })?;
+        if !line.ends_with(')') {
+            return Err(ReadError::Syntax {
+                line: line_no,
+                message: "expected closing `)`".into(),
+            });
+        }
+        let rel: Arc<str> = Arc::from(line[..open].trim());
+        if rel.is_empty() {
+            return Err(ReadError::Syntax {
+                line: line_no,
+                message: "missing relation name".into(),
+            });
+        }
+        let body = &line[open + 1..line.len() - 1];
+        let mut values = Vec::new();
+        for token in split_args(body, line_no)? {
+            values.push(parse_value(&token, line_no)?);
+        }
+        inst.insert(&rel, values.into())?;
+    }
+    Ok(inst)
+}
+
+/// Serialize an instance as fact-per-line text (the format
+/// [`read_instance`] reads; also valid `fact` syntax for scenario files
+/// when no nulls are present).
+pub fn write_instance(inst: &Instance) -> String {
+    let mut out = String::new();
+    for fact in inst.facts() {
+        out.push_str(&fact.to_string());
+        out.push_str(".\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn round_trip_all_value_kinds() {
+        let mut inst = Instance::new();
+        inst.add(
+            "R",
+            vec![
+                Value::int(-5),
+                Value::str("hello world"),
+                Value::bool(true),
+                Value::null(3),
+            ],
+        )
+        .unwrap();
+        inst.add("S_Empty", vec![Value::str("")]).unwrap();
+        let text = write_instance(&inst);
+        let back = read_instance(&text).unwrap();
+        assert_eq!(back.len(), inst.len());
+        assert!(back.contains_fact(
+            "R",
+            &Tuple::new(vec![
+                Value::int(-5),
+                Value::str("hello world"),
+                Value::bool(true),
+                Value::null(3),
+            ])
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\nR(1, 2).\n// trailing comment\nR(3, 4)\n";
+        let inst = read_instance(text).unwrap();
+        assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn quoted_strings_with_commas_and_escapes() {
+        let text = r#"R("a, b", "say \"hi\"")."#;
+        let inst = read_instance(text).unwrap();
+        let t: Vec<_> = inst.tuples("R").collect();
+        assert_eq!(t[0].get(0), Some(&Value::str("a, b")));
+        assert_eq!(t[0].get(1), Some(&Value::str("say \"hi\"")));
+    }
+
+    #[test]
+    fn null_tokens_parse() {
+        let inst = read_instance("R(N0, N17).").unwrap();
+        let t: Vec<_> = inst.tuples("R").collect();
+        assert_eq!(t[0].get(0), Some(&Value::null(0)));
+        assert_eq!(t[0].get(1), Some(&Value::null(17)));
+    }
+
+    #[test]
+    fn zero_arity_facts() {
+        let inst = read_instance("Flag().").unwrap();
+        assert_eq!(inst.relation("Flag").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = read_instance("R(1).\noops\n").unwrap_err();
+        assert!(matches!(err, ReadError::Syntax { line: 2, .. }));
+        let err = read_instance("R(bare_word).").unwrap_err();
+        assert!(err.to_string().contains("quote strings"));
+        let err = read_instance("R(\"unterminated).").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn arity_drift_detected() {
+        let err = read_instance("R(1).\nR(1, 2).").unwrap_err();
+        assert!(matches!(err, ReadError::Data(_)));
+    }
+}

@@ -1,0 +1,258 @@
+//! The value domain: constants plus labeled nulls.
+//!
+//! GROM instances are *naive tables* in the data-exchange sense (Fagin,
+//! Kolaitis, Miller, Popa — "Data Exchange: Semantics and Query Answering"):
+//! ordinary constants mixed with **labeled nulls** `N_0, N_1, …` that stand
+//! for unknown values invented by the chase. Two labeled nulls are equal iff
+//! they carry the same label; the egd chase merges labels via
+//! [`crate::instance::Instance::substitute_nulls`].
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The label of a labeled null. Labels are allocated by a [`NullGenerator`]
+/// and are globally unique within one chase run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullId(pub u64);
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A database value: a typed constant or a labeled null.
+///
+/// Strings are reference-counted so that tuples can be cloned cheaply during
+/// joins and chase steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer constant.
+    Int(i64),
+    /// String constant.
+    Str(Arc<str>),
+    /// Boolean constant.
+    Bool(bool),
+    /// A labeled null `N_k` standing for an unknown value.
+    Null(NullId),
+}
+
+impl Value {
+    /// Build a string constant.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer constant.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Build a boolean constant.
+    pub fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// Build a labeled null from a raw label.
+    pub fn null(id: u64) -> Self {
+        Value::Null(NullId(id))
+    }
+
+    /// Is this a labeled null?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Is this a constant (i.e. not a labeled null)?
+    pub fn is_constant(&self) -> bool {
+        !self.is_null()
+    }
+
+    /// The null label, if this is a null.
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Value::Null(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compare two values under the *order semantics of comparison atoms*.
+    ///
+    /// Comparisons in GROM premises (`rating >= 4`, …) are only meaningful
+    /// between constants of the same type; any comparison involving a
+    /// labeled null or constants of different types is *undefined* and the
+    /// comparison atom simply does not match. Returns `None` in those cases.
+    pub fn try_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// Allocator for fresh labeled nulls.
+///
+/// The chase engine owns one generator per run so that every invented null
+/// is distinct. Generators are deliberately *not* global: reproducibility of
+/// a chase run must not depend on what other runs executed before it.
+#[derive(Debug, Default, Clone)]
+pub struct NullGenerator {
+    next: u64,
+}
+
+impl NullGenerator {
+    /// A generator starting at label 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A generator whose first label is `start`; used when extending an
+    /// instance that already contains nulls.
+    pub fn starting_at(start: u64) -> Self {
+        Self { next: start }
+    }
+
+    /// Allocate a fresh labeled null.
+    pub fn fresh(&mut self) -> Value {
+        let id = self.next;
+        self.next += 1;
+        Value::Null(NullId(id))
+    }
+
+    /// The label the next call to [`NullGenerator::fresh`] will use.
+    pub fn peek_next(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::null(3).as_null(), Some(NullId(3)));
+        assert!(Value::null(3).is_null());
+        assert!(!Value::null(3).is_constant());
+        assert!(Value::int(1).is_constant());
+    }
+
+    #[test]
+    fn equality_is_by_label_for_nulls() {
+        assert_eq!(Value::null(1), Value::null(1));
+        assert_ne!(Value::null(1), Value::null(2));
+        assert_ne!(Value::null(1), Value::int(1));
+    }
+
+    #[test]
+    fn try_cmp_same_types() {
+        assert_eq!(Value::int(1).try_cmp(&Value::int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("b").try_cmp(&Value::str("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::bool(true).try_cmp(&Value::bool(true)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn try_cmp_is_undefined_across_types_and_nulls() {
+        assert_eq!(Value::int(1).try_cmp(&Value::str("1")), None);
+        assert_eq!(Value::null(0).try_cmp(&Value::int(1)), None);
+        assert_eq!(Value::null(0).try_cmp(&Value::null(0)), None);
+    }
+
+    #[test]
+    fn null_generator_is_sequential_and_local() {
+        let mut g = NullGenerator::new();
+        assert_eq!(g.fresh(), Value::null(0));
+        assert_eq!(g.fresh(), Value::null(1));
+        let mut h = NullGenerator::starting_at(10);
+        assert_eq!(h.fresh(), Value::null(10));
+        assert_eq!(g.fresh(), Value::null(2));
+        assert_eq!(g.peek_next(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::str("ab").to_string(), "\"ab\"");
+        assert_eq!(Value::bool(false).to_string(), "false");
+        assert_eq!(Value::null(12).to_string(), "N12");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::from(true), Value::bool(true));
+    }
+}

@@ -1,0 +1,67 @@
+//! The database abstraction the engine evaluates over.
+//!
+//! Source-to-target dependencies read two instances at once (the source
+//! `I_S` and the growing target `J_T`); views read one. [`Db`] abstracts
+//! over both so the same join code serves every caller.
+
+use grom_data::{Instance, Relation};
+
+/// Read access to a set of relations by name.
+pub trait Db {
+    /// The relation called `name`, if present and non-empty.
+    fn relation(&self, name: &str) -> Option<&Relation>;
+
+    /// Number of tuples in `name` (0 if absent) — used by the join planner.
+    fn relation_len(&self, name: &str) -> usize {
+        self.relation(name).map_or(0, Relation::len)
+    }
+}
+
+impl Db for Instance {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        Instance::relation(self, name)
+    }
+}
+
+/// Two instances viewed as one database. Relation names must not overlap
+/// (GROM enforces distinct source/target relation names, cf. the `S-`/`T-`
+/// prefixes of the paper); if they do, the first instance wins.
+#[derive(Debug, Clone, Copy)]
+pub struct PairDb<'a> {
+    pub first: &'a Instance,
+    pub second: &'a Instance,
+}
+
+impl<'a> PairDb<'a> {
+    pub fn new(first: &'a Instance, second: &'a Instance) -> Self {
+        Self { first, second }
+    }
+}
+
+impl Db for PairDb<'_> {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.first
+            .relation(name)
+            .or_else(|| self.second.relation(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_data::Value;
+
+    #[test]
+    fn pair_db_resolves_both_sides() {
+        let mut a = Instance::new();
+        a.add("S", vec![Value::int(1)]).unwrap();
+        let mut b = Instance::new();
+        b.add("T", vec![Value::int(2)]).unwrap();
+        let db = PairDb::new(&a, &b);
+        assert!(db.relation("S").is_some());
+        assert!(db.relation("T").is_some());
+        assert!(db.relation("U").is_none());
+        assert_eq!(db.relation_len("S"), 1);
+        assert_eq!(db.relation_len("U"), 0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Backtracking evaluation of conjunctions of literals.
+//!
+//! The evaluator enumerates all [`Bindings`] of the body variables such
+//! that, over the given [`Db`]:
+//!
+//! * every positive atom matches a stored tuple,
+//! * no negated atom matches any stored tuple (variables local to the
+//!   negation are wildcards — the safe-Datalog `¬∃` reading), and
+//! * every comparison holds under [`CmpOp::eval`] semantics.
+//!
+//! Strategy: a greedy join order recomputed at every step. Comparisons and
+//! negations run as soon as their variables are bound (cheap filters first);
+//! among positive atoms the evaluator picks the one with the smallest
+//! index-based cardinality estimate under the current bindings
+//! ([`grom_data::Relation::estimate`]) and probes it through the instance's
+//! per-column indexes.
+//!
+//! [`CmpOp::eval`]: grom_lang::CmpOp::eval
+
+use std::collections::BTreeSet;
+
+use grom_lang::{Atom, Bindings, Literal, Term, Var};
+
+use crate::db::Db;
+
+/// Flow control for streaming evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    Continue,
+    Stop,
+}
+
+/// Evaluate `body` over `db`, starting from `seed` bindings, collecting all
+/// solutions.
+pub fn evaluate_body(db: &impl Db, body: &[Literal], seed: &Bindings) -> Vec<Bindings> {
+    let mut out = Vec::new();
+    evaluate_body_streaming(db, body, seed, |b| {
+        out.push(b.clone());
+        Control::Continue
+    });
+    out
+}
+
+/// Is there at least one solution? Stops at the first.
+pub fn has_match(db: &impl Db, body: &[Literal], seed: &Bindings) -> bool {
+    let mut found = false;
+    evaluate_body_streaming(db, body, seed, |_| {
+        found = true;
+        Control::Stop
+    });
+    found
+}
+
+/// Streaming evaluation: `visit` is called on every solution and may stop
+/// the enumeration early.
+pub fn evaluate_body_streaming(
+    db: &impl Db,
+    body: &[Literal],
+    seed: &Bindings,
+    mut visit: impl FnMut(&Bindings) -> Control,
+) {
+    // Variables that *can* ever be bound: seed variables plus variables of
+    // positive atoms. Variables of negated atoms outside this set are local
+    // wildcards.
+    let mut bindable: BTreeSet<Var> = seed.iter().map(|(v, _)| v.clone()).collect();
+    for lit in body {
+        if let Literal::Pos(a) = lit {
+            a.collect_vars(&mut bindable);
+        }
+    }
+
+    let mut remaining: Vec<&Literal> = body.iter().collect();
+    let mut bindings = seed.clone();
+    solve(db, &mut remaining, &mut bindings, &bindable, &mut visit);
+}
+
+/// Is `lit` ready to run as a filter under `bindings`?
+fn filter_ready(lit: &Literal, bindings: &Bindings, bindable: &BTreeSet<Var>) -> bool {
+    match lit {
+        Literal::Cmp(c) => c.variables().iter().all(|v| bindings.contains(v)),
+        Literal::Neg(a) => a
+            .variables()
+            .iter()
+            .all(|v| bindings.contains(v) || !bindable.contains(v)),
+        Literal::Pos(_) => false,
+    }
+}
+
+/// Run a ready filter literal. `true` = passes.
+fn run_filter(db: &impl Db, lit: &Literal, bindings: &Bindings) -> bool {
+    match lit {
+        Literal::Cmp(c) => bindings.eval_comparison(c).unwrap_or(false),
+        Literal::Neg(a) => {
+            let pattern = bindings.atom_pattern(a);
+            match db.relation(&a.predicate) {
+                None => true, // empty relation: negation holds
+                Some(rel) => !rel.any_match(&pattern),
+            }
+        }
+        Literal::Pos(_) => unreachable!("positive atoms are not filters"),
+    }
+}
+
+/// Extend `bindings` with the columns of `tuple` matched against `atom`'s
+/// arguments; undo-list returned for backtracking. `None` if inconsistent
+/// (repeated variable bound to two different values, or constant mismatch —
+/// the latter is already excluded by the scan pattern but re-checked for
+/// safety).
+fn bind_tuple(
+    atom: &Atom,
+    tuple: &grom_data::Tuple,
+    bindings: &mut Bindings,
+) -> Option<Vec<Var>> {
+    let mut bound_here = Vec::new();
+    for (term, value) in atom.args.iter().zip(tuple.values()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    for v in &bound_here {
+                        bindings.unbind(v);
+                    }
+                    return None;
+                }
+            }
+            Term::Var(v) => match bindings.get(v) {
+                Some(existing) if existing == value => {}
+                Some(_) => {
+                    for v in &bound_here {
+                        bindings.unbind(v);
+                    }
+                    return None;
+                }
+                None => {
+                    bindings.bind(v.clone(), value.clone());
+                    bound_here.push(v.clone());
+                }
+            },
+        }
+    }
+    Some(bound_here)
+}
+
+fn solve(
+    db: &impl Db,
+    remaining: &mut Vec<&Literal>,
+    bindings: &mut Bindings,
+    bindable: &BTreeSet<Var>,
+    visit: &mut impl FnMut(&Bindings) -> Control,
+) -> Control {
+    if remaining.is_empty() {
+        return visit(bindings);
+    }
+
+    // 1. Run any ready filter (comparison / negation) first.
+    if let Some(i) = remaining
+        .iter()
+        .position(|l| filter_ready(l, bindings, bindable))
+    {
+        let lit = remaining.remove(i);
+        let ctrl = if run_filter(db, lit, bindings) {
+            solve(db, remaining, bindings, bindable, visit)
+        } else {
+            Control::Continue
+        };
+        remaining.insert(i, lit);
+        return ctrl;
+    }
+
+    // 2. Pick the cheapest positive atom to expand, by index-based
+    //    cardinality estimate under the current bindings (the smallest
+    //    index bucket among bound columns, or the relation size when
+    //    nothing is bound yet).
+    let mut best: Option<(usize, usize)> = None; // (idx, estimate)
+    for (i, lit) in remaining.iter().enumerate() {
+        if let Literal::Pos(a) = lit {
+            let estimate = match db.relation(&a.predicate) {
+                None => 0,
+                Some(rel) => {
+                    let pattern = bindings.atom_pattern(a);
+                    rel.estimate(&pattern)
+                }
+            };
+            if best.is_none_or(|(_, be)| estimate < be) {
+                best = Some((i, estimate));
+            }
+        }
+    }
+
+    let Some((i, _)) = best else {
+        // No positive atom and no ready filter: the body has an unsafe
+        // comparison or negation over never-bound variables. Safety checks
+        // upstream should prevent this; treat as no solution.
+        return Control::Continue;
+    };
+
+    let lit = remaining.remove(i);
+    let atom = match lit {
+        Literal::Pos(a) => a,
+        _ => unreachable!(),
+    };
+    let ctrl = 'expand: {
+        let Some(rel) = db.relation(&atom.predicate) else {
+            break 'expand Control::Continue; // empty relation: no matches
+        };
+        let pattern = bindings.atom_pattern(atom);
+        for tuple in rel.scan(&pattern) {
+            if let Some(bound_here) = bind_tuple(atom, tuple, bindings) {
+                let ctrl = solve(db, remaining, bindings, bindable, visit);
+                for v in &bound_here {
+                    bindings.unbind(v);
+                }
+                if ctrl == Control::Stop {
+                    break 'expand Control::Stop;
+                }
+            }
+        }
+        Control::Continue
+    };
+    remaining.insert(i, lit);
+    ctrl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_data::{Instance, Value};
+    use grom_lang::{CmpOp, Comparison};
+
+    fn atom(p: &str, vars: &[&str]) -> Atom {
+        Atom::new(p, vars.iter().map(Term::var).collect())
+    }
+
+    fn db() -> Instance {
+        let mut inst = Instance::new();
+        // Edges of a small graph.
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (1, 3)] {
+            inst.add("E", vec![Value::int(a), Value::int(b)]).unwrap();
+        }
+        // Node labels.
+        for (n, l) in [(1, "a"), (2, "b"), (3, "a"), (4, "b")] {
+            inst.add("L", vec![Value::int(n), Value::str(l)]).unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn single_atom_all_solutions() {
+        let inst = db();
+        let body = vec![Literal::Pos(atom("E", &["x", "y"]))];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 4);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let inst = db();
+        // Paths of length 2: E(x,y), E(y,z).
+        let body = vec![
+            Literal::Pos(atom("E", &["x", "y"])),
+            Literal::Pos(atom("E", &["y", "z"])),
+        ];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        // 1->2->3, 2->3->4, 1->3->4.
+        assert_eq!(sols.len(), 3);
+        for s in &sols {
+            let x = s.get(&"x".into()).unwrap().as_int().unwrap();
+            let y = s.get(&"y".into()).unwrap().as_int().unwrap();
+            let z = s.get(&"z".into()).unwrap().as_int().unwrap();
+            assert!(x < y && y < z, "not a path: {x} {y} {z}");
+        }
+    }
+
+    #[test]
+    fn repeated_variable_in_one_atom() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![Value::int(1), Value::int(1)]).unwrap();
+        inst.add("R", vec![Value::int(1), Value::int(2)]).unwrap();
+        let body = vec![Literal::Pos(atom("R", &["x", "x"]))];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(&"x".into()), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn constants_in_atoms() {
+        let inst = db();
+        let body = vec![Literal::Pos(Atom::new(
+            "L",
+            vec![Term::var("n"), Term::cons("a")],
+        ))];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn negation_filters() {
+        let inst = db();
+        // Nodes with no outgoing edge: L(n, l), not E(n, m).
+        let body = vec![
+            Literal::Pos(atom("L", &["n", "l"])),
+            Literal::Neg(atom("E", &["n", "m"])),
+        ];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(&"n".into()), Some(&Value::int(4)));
+    }
+
+    #[test]
+    fn negation_on_missing_relation_holds() {
+        let inst = db();
+        let body = vec![
+            Literal::Pos(atom("L", &["n", "l"])),
+            Literal::Neg(atom("Absent", &["n"])),
+        ];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 4);
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        let inst = db();
+        let body = vec![
+            Literal::Pos(atom("E", &["x", "y"])),
+            Literal::Cmp(Comparison::new(CmpOp::Gt, Term::var("y"), Term::cons(3i64))),
+        ];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 1); // only 3 -> 4
+    }
+
+    #[test]
+    fn seed_bindings_restrict() {
+        let inst = db();
+        let mut seed = Bindings::new();
+        seed.bind("x".into(), Value::int(1));
+        let body = vec![Literal::Pos(atom("E", &["x", "y"]))];
+        let sols = evaluate_body(&inst, &body, &seed);
+        assert_eq!(sols.len(), 2); // 1->2, 1->3
+        for s in &sols {
+            assert_eq!(s.get(&"x".into()), Some(&Value::int(1)));
+        }
+    }
+
+    #[test]
+    fn has_match_stops_early() {
+        let inst = db();
+        let body = vec![Literal::Pos(atom("E", &["x", "y"]))];
+        assert!(has_match(&inst, &body, &Bindings::new()));
+        let body = vec![Literal::Pos(atom("Absent", &["x"]))];
+        assert!(!has_match(&inst, &body, &Bindings::new()));
+    }
+
+    #[test]
+    fn empty_body_yields_seed() {
+        let inst = db();
+        let sols = evaluate_body(&inst, &[], &Bindings::new());
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_vars() {
+        let inst = db();
+        let body = vec![
+            Literal::Pos(atom("E", &["x", "y"])),
+            Literal::Pos(atom("L", &["n", "l"])),
+        ];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 16);
+    }
+
+    #[test]
+    fn negation_with_local_wildcard_variable() {
+        let mut inst = Instance::new();
+        inst.add("P", vec![Value::int(1)]).unwrap();
+        inst.add("P", vec![Value::int(2)]).unwrap();
+        inst.add("Q", vec![Value::int(10), Value::int(1)]).unwrap();
+        // P(x), not Q(w, x): w occurs only under negation — wildcard.
+        let body = vec![
+            Literal::Pos(atom("P", &["x"])),
+            Literal::Neg(atom("Q", &["w", "x"])),
+        ];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(&"x".into()), Some(&Value::int(2)));
+    }
+
+    #[test]
+    fn nulls_join_by_label() {
+        let mut inst = Instance::new();
+        inst.add("A", vec![Value::null(0)]).unwrap();
+        inst.add("B", vec![Value::null(0)]).unwrap();
+        inst.add("B", vec![Value::null(1)]).unwrap();
+        let body = vec![
+            Literal::Pos(atom("A", &["x"])),
+            Literal::Pos(atom("B", &["x"])),
+        ];
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(&"x".into()), Some(&Value::null(0)));
+    }
+
+    #[test]
+    fn streaming_stop_is_respected() {
+        let inst = db();
+        let body = vec![Literal::Pos(atom("E", &["x", "y"]))];
+        let mut count = 0;
+        evaluate_body_streaming(&inst, &body, &Bindings::new(), |_| {
+            count += 1;
+            if count == 2 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # grom-engine — evaluation engine for GROM
+//!
+//! Evaluates the logic of `grom-lang` over the instances of `grom-data`:
+//!
+//! * [`eval`] — backtracking join evaluation of conjunctions of literals
+//!   (positive atoms, negated atoms, comparison atoms) with index lookups
+//!   and greedy literal ordering. This is the workhorse shared by view
+//!   materialization, the chase's violation search and the validator.
+//! * [`materialize`] — stratified materialization of non-recursive
+//!   Datalog-with-negation view sets: the operator `Υ(I)` of the paper
+//!   (applied to the source in the composition reduction of §3, and to the
+//!   target by the validator).
+//! * [`satisfy`] — satisfaction checks for dependencies: find premise
+//!   matches that violate a tgd/egd/ded, or certify that an instance
+//!   satisfies a set of dependencies.
+//!
+//! The engine evaluates over a [`Db`]: either a single [`Instance`] or a
+//! pair of instances (source + target), since source-to-target dependencies
+//! read both databases.
+//!
+//! [`Instance`]: grom_data::Instance
+
+pub mod db;
+pub mod eval;
+pub mod materialize;
+pub mod query;
+pub mod satisfy;
+
+pub use db::{Db, PairDb};
+pub use eval::{evaluate_body, evaluate_body_streaming, has_match, Control};
+pub use materialize::{materialize_views, MaterializeError};
+pub use query::Query;
+pub use satisfy::{
+    dependency_satisfied, disjunct_satisfied, find_violation, instance_satisfies, Violation,
+};

@@ -1,0 +1,237 @@
+//! Stratified materialization of view sets: the `Υ(I)` operator.
+//!
+//! Views are materialized in a topological order of the view DAG
+//! (definitions before uses), so when a rule body references another view —
+//! positively or under negation — that view's extent is already available.
+//! Non-recursion makes this a single pass; no fixpoint is needed.
+
+use std::fmt;
+
+use grom_data::{DataError, Instance};
+use grom_lang::{Bindings, LangError, Term, ViewSet};
+
+use crate::db::PairDb;
+use crate::eval::evaluate_body;
+
+/// Errors raised during materialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaterializeError {
+    /// The view set failed validation (recursion / safety).
+    Lang(LangError),
+    /// Tuple insertion failed (arity drift between rules of a union view —
+    /// prevented upstream, but surfaced faithfully).
+    Data(DataError),
+}
+
+impl fmt::Display for MaterializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaterializeError::Lang(e) => write!(f, "materialization: {e}"),
+            MaterializeError::Data(e) => write!(f, "materialization: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaterializeError {}
+
+impl From<LangError> for MaterializeError {
+    fn from(e: LangError) -> Self {
+        MaterializeError::Lang(e)
+    }
+}
+
+impl From<DataError> for MaterializeError {
+    fn from(e: DataError) -> Self {
+        MaterializeError::Data(e)
+    }
+}
+
+/// Materialize every view of `views` over the base instance `base`.
+///
+/// Returns a new instance containing **only** the view extents; callers that
+/// want `base ∪ Υ(base)` (e.g. the pipeline's composition reduction) union
+/// the result with `base` themselves.
+pub fn materialize_views(
+    views: &ViewSet,
+    base: &Instance,
+) -> Result<Instance, MaterializeError> {
+    let order = views.validate()?;
+    let mut extents = Instance::new();
+    for view in &order {
+        for rule in views.rules_of(view) {
+            // Rule bodies may read base tables and previously materialized
+            // views; expose both through a PairDb.
+            let db = PairDb::new(base, &extents);
+            let solutions = evaluate_body(&db, &rule.body, &Bindings::new());
+            for sol in solutions {
+                let tuple = project_head(&sol, &rule.head.args);
+                extents.insert(&rule.head.predicate, tuple.into())?;
+            }
+        }
+    }
+    Ok(extents)
+}
+
+/// Project a solution onto the head argument list.
+fn project_head(sol: &Bindings, args: &[Term]) -> Vec<grom_data::Value> {
+    args.iter()
+        .map(|t| {
+            sol.eval_term(t)
+                .expect("safety guarantees head variables are bound")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_data::{Tuple, Value};
+    use grom_lang::{Atom, Literal, ViewRule};
+
+    fn atom(p: &str, vars: &[&str]) -> Atom {
+        Atom::new(p, vars.iter().map(Term::var).collect())
+    }
+
+    /// The paper's target views over a small target instance.
+    fn paper_setup() -> (ViewSet, Instance) {
+        let text = r#"
+            view Product(id, name) <- T_Product(id, name, store).
+            view PopularProduct(pid, name) <-
+                T_Product(pid, name, store), not T_Rating(rid, pid, 0).
+            view AvgProduct(pid, name) <-
+                T_Product(pid, name, store), T_Rating(rid, pid, 1),
+                not PopularProduct(pid, name).
+            view UnpopularProduct(pid, name) <-
+                T_Product(pid, name, store),
+                not AvgProduct(pid, name), not PopularProduct(pid, name).
+        "#;
+        let prog = grom_lang::Program::parse(text).unwrap();
+
+        let mut inst = Instance::new();
+        // Product 1: no 0-ratings -> popular.
+        // Product 2: a 0-rating and a 1-rating -> average.
+        // Product 3: only 0-ratings -> unpopular.
+        for (id, name) in [(1, "tv"), (2, "radio"), (3, "fridge")] {
+            inst.add(
+                "T_Product",
+                vec![Value::int(id), Value::str(name), Value::int(100)],
+            )
+            .unwrap();
+        }
+        inst.add("T_Rating", vec![Value::int(1), Value::int(2), Value::int(0)])
+            .unwrap();
+        inst.add("T_Rating", vec![Value::int(2), Value::int(2), Value::int(1)])
+            .unwrap();
+        inst.add("T_Rating", vec![Value::int(3), Value::int(3), Value::int(0)])
+            .unwrap();
+        (prog.views, inst)
+    }
+
+    fn names_of(extents: &Instance, view: &str) -> Vec<i64> {
+        let mut ids: Vec<i64> = extents
+            .tuples(view)
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn paper_views_classify_products() {
+        let (views, inst) = paper_setup();
+        let extents = materialize_views(&views, &inst).unwrap();
+        assert_eq!(names_of(&extents, "Product"), vec![1, 2, 3]);
+        assert_eq!(names_of(&extents, "PopularProduct"), vec![1]);
+        assert_eq!(names_of(&extents, "AvgProduct"), vec![2]);
+        assert_eq!(names_of(&extents, "UnpopularProduct"), vec![3]);
+    }
+
+    #[test]
+    fn union_views_accumulate() {
+        let mut views = ViewSet::new();
+        views
+            .add_rule(ViewRule::new(
+                atom("V", &["x"]),
+                vec![Literal::Pos(atom("A", &["x"]))],
+            ))
+            .unwrap();
+        views
+            .add_rule(ViewRule::new(
+                atom("V", &["x"]),
+                vec![Literal::Pos(atom("B", &["x"]))],
+            ))
+            .unwrap();
+        let mut inst = Instance::new();
+        inst.add("A", vec![Value::int(1)]).unwrap();
+        inst.add("B", vec![Value::int(2)]).unwrap();
+        inst.add("B", vec![Value::int(1)]).unwrap(); // dedup across rules
+        let extents = materialize_views(&views, &inst).unwrap();
+        assert_eq!(names_of(&extents, "V"), vec![1, 2]);
+    }
+
+    #[test]
+    fn constants_in_heads() {
+        let mut views = ViewSet::new();
+        views
+            .add_rule(ViewRule::new(
+                Atom::new("Tagged", vec![Term::var("x"), Term::cons("hot")]),
+                vec![Literal::Pos(atom("A", &["x"]))],
+            ))
+            .unwrap();
+        let mut inst = Instance::new();
+        inst.add("A", vec![Value::int(1)]).unwrap();
+        let extents = materialize_views(&views, &inst).unwrap();
+        assert!(extents.contains_fact(
+            "Tagged",
+            &Tuple::new(vec![Value::int(1), Value::str("hot")])
+        ));
+    }
+
+    #[test]
+    fn empty_base_gives_empty_views() {
+        let (views, _) = paper_setup();
+        let extents = materialize_views(&views, &Instance::new()).unwrap();
+        assert!(extents.is_empty());
+    }
+
+    #[test]
+    fn view_over_view_chain() {
+        let prog = grom_lang::Program::parse(
+            "view V1(x) <- Base(x, y), y > 0.\n\
+             view V2(x) <- V1(x), not Block(x).\n\
+             view V3(x) <- V2(x).",
+        )
+        .unwrap();
+        let mut inst = Instance::new();
+        inst.add("Base", vec![Value::int(1), Value::int(5)]).unwrap();
+        inst.add("Base", vec![Value::int(2), Value::int(-1)]).unwrap();
+        inst.add("Base", vec![Value::int(3), Value::int(2)]).unwrap();
+        inst.add("Block", vec![Value::int(3)]).unwrap();
+        let extents = materialize_views(&prog.views, &inst).unwrap();
+        assert_eq!(names_of(&extents, "V1"), vec![1, 3]);
+        assert_eq!(names_of(&extents, "V2"), vec![1]);
+        assert_eq!(names_of(&extents, "V3"), vec![1]);
+    }
+
+    #[test]
+    fn recursion_is_reported() {
+        let prog = grom_lang::Program::parse(
+            "view V(x) <- W(x).\nview W(x) <- V(x).",
+        )
+        .unwrap();
+        let err = materialize_views(&prog.views, &Instance::new()).unwrap_err();
+        assert!(matches!(err, MaterializeError::Lang(_)));
+    }
+
+    #[test]
+    fn nulls_flow_through_views() {
+        let prog = grom_lang::Program::parse("view V(x, y) <- A(x, y).").unwrap();
+        let mut inst = Instance::new();
+        inst.add("A", vec![Value::int(1), Value::null(7)]).unwrap();
+        let extents = materialize_views(&prog.views, &inst).unwrap();
+        assert!(extents.contains_fact(
+            "V",
+            &Tuple::new(vec![Value::int(1), Value::null(7)])
+        ));
+    }
+}

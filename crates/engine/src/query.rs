@@ -1,0 +1,220 @@
+//! Queries over (possibly incomplete) instances: naive evaluation and
+//! **certain answers**.
+//!
+//! Target instances produced by the chase are *naive tables*: they contain
+//! labeled nulls. The standard query-answering semantics in data exchange
+//! (Fagin–Kolaitis–Miller–Popa) is **certain answers**: the tuples returned
+//! by the query on *every* possible completion of the instance. For unions
+//! of conjunctive queries, naive evaluation — treat nulls as plain values,
+//! then discard answers that still contain nulls — computes exactly the
+//! certain answers over universal solutions, which is what
+//! [`certain_answers`] implements. [`answers`] returns the raw naive
+//! answers (nulls included) for callers that want the full picture.
+//!
+//! Queries may have several rules (unions) and may use negation and
+//! comparisons in bodies, with the usual safety conditions; for queries
+//! with negation the certain-answer guarantee no longer holds in general
+//! (negation is not preserved by homomorphisms) — the naive semantics is
+//! still well-defined and documented as such.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use grom_data::{Tuple, Value};
+use grom_lang::{Atom, Bindings, LangError, Literal, Term, ViewRule};
+
+use crate::db::Db;
+use crate::eval::evaluate_body;
+
+/// A query: one or more rules sharing a head predicate (a union of
+/// conjunctive queries with negation and comparisons).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    rules: Vec<ViewRule>,
+}
+
+impl Query {
+    /// Build a query from rules; they must agree on head predicate and
+    /// arity, and each must be safe.
+    pub fn new(rules: Vec<ViewRule>) -> Result<Query, LangError> {
+        let mut iter = rules.iter();
+        let first = iter.next().ok_or_else(|| LangError::Unsafe {
+            context: "query".into(),
+            detail: "a query needs at least one rule".into(),
+        })?;
+        for r in iter {
+            if r.head.predicate != first.head.predicate {
+                return Err(LangError::Unsafe {
+                    context: "query".into(),
+                    detail: format!(
+                        "rules disagree on head predicate: `{}` vs `{}`",
+                        first.head.predicate, r.head.predicate
+                    ),
+                });
+            }
+            if r.head.arity() != first.head.arity() {
+                return Err(LangError::ViewArityMismatch {
+                    view: first.head.predicate.clone(),
+                    expected: first.head.arity(),
+                    actual: r.head.arity(),
+                });
+            }
+        }
+        for r in &rules {
+            grom_lang::safety::check_view_rule(r)?;
+        }
+        Ok(Query { rules })
+    }
+
+    /// Parse a query from one or more `view Head(..) <- body.` rules.
+    pub fn parse(text: &str) -> Result<Query, LangError> {
+        let prog = grom_lang::Program::parse(text)?;
+        Query::new(prog.views.rules().to_vec())
+    }
+
+    /// The head predicate name.
+    pub fn head_predicate(&self) -> &str {
+        &self.rules[0].head.predicate
+    }
+
+    /// The head arity.
+    pub fn arity(&self) -> usize {
+        self.rules[0].head.arity()
+    }
+
+    fn project(head: &Atom, b: &Bindings) -> Tuple {
+        let values: Vec<Value> = head
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => b
+                    .get(v)
+                    .cloned()
+                    .expect("safety guarantees head variables are bound"),
+            })
+            .collect();
+        Tuple::new(values)
+    }
+
+    /// Naive answers: evaluate every rule, project onto the head, union.
+    /// Answers may contain labeled nulls.
+    pub fn answers(&self, db: &impl Db) -> BTreeSet<Tuple> {
+        let mut out = BTreeSet::new();
+        for rule in &self.rules {
+            for b in evaluate_body(db, &rule.body, &Bindings::new()) {
+                out.insert(Self::project(&rule.head, &b));
+            }
+        }
+        out
+    }
+
+    /// Certain answers: naive answers with null-containing tuples dropped.
+    ///
+    /// For negation-free queries over a universal solution this is exactly
+    /// the set of certain answers of the data-exchange setting.
+    pub fn certain_answers(&self, db: &impl Db) -> BTreeSet<Tuple> {
+        self.answers(db)
+            .into_iter()
+            .filter(|t| !t.has_nulls())
+            .collect()
+    }
+
+    /// Does the query use negated literals in any rule? (Certain-answer
+    /// guarantees only cover the negation-free fragment.)
+    pub fn uses_negation(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.body.iter().any(Literal::is_negated))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_data::Instance;
+
+    fn db() -> Instance {
+        let mut inst = Instance::new();
+        inst.add("T", vec![Value::int(1), Value::str("a")]).unwrap();
+        inst.add("T", vec![Value::int(2), Value::null(0)]).unwrap();
+        inst.add("U", vec![Value::int(1)]).unwrap();
+        inst.add("U", vec![Value::int(2)]).unwrap();
+        inst
+    }
+
+    #[test]
+    fn naive_answers_include_nulls() {
+        let q = Query::parse("view Q(x, l) <- T(x, l).").unwrap();
+        let ans = q.answers(&db());
+        assert_eq!(ans.len(), 2);
+        assert!(ans.iter().any(|t| t.has_nulls()));
+    }
+
+    #[test]
+    fn certain_answers_drop_null_tuples() {
+        let q = Query::parse("view Q(x, l) <- T(x, l).").unwrap();
+        let certain = q.certain_answers(&db());
+        assert_eq!(certain.len(), 1);
+        let t = certain.iter().next().unwrap();
+        assert_eq!(t.get(0), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn join_projection_keeps_constant_part() {
+        // Even though T(2, N0) has a null label, the *join* on x produces
+        // a fully-constant answer for Q(x) — certain.
+        let q = Query::parse("view Q(x) <- T(x, l), U(x).").unwrap();
+        let certain = q.certain_answers(&db());
+        assert_eq!(certain.len(), 2);
+    }
+
+    #[test]
+    fn union_queries() {
+        let q = Query::parse("view Q(x) <- T(x, l).\nview Q(x) <- U(x).").unwrap();
+        let ans = q.certain_answers(&db());
+        assert_eq!(ans.len(), 2); // 1 and 2, deduplicated across rules
+    }
+
+    #[test]
+    fn constants_in_heads() {
+        let q = Query::parse("view Q(x, 9) <- U(x).").unwrap();
+        let ans = q.certain_answers(&db());
+        assert!(ans
+            .iter()
+            .all(|t| t.get(1) == Some(&Value::int(9))));
+    }
+
+    #[test]
+    fn negation_detection_and_semantics() {
+        let q = Query::parse("view Q(x) <- U(x), not T(x, l).").unwrap();
+        assert!(q.uses_negation());
+        // Naive semantics: T(2, N0) exists, so only... both 1 and 2 have
+        // T-rows; no answers.
+        assert!(q.certain_answers(&db()).is_empty());
+    }
+
+    #[test]
+    fn mismatched_rules_rejected() {
+        assert!(Query::parse("view Q(x) <- U(x).\nview R(x) <- U(x).").is_err());
+        assert!(Query::parse("view Q(x) <- U(x).\nview Q(x, y) <- T(x, y).").is_err());
+        assert!(Query::parse("view Q(x, w) <- U(x).").is_err()); // unsafe head
+    }
+
+    #[test]
+    fn comparisons_in_query_bodies() {
+        let q = Query::parse("view Q(x) <- U(x), x >= 2.").unwrap();
+        let ans = q.certain_answers(&db());
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.iter().next().unwrap().get(0), Some(&Value::int(2)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Satisfaction checks for dependencies.
+//!
+//! A dependency `premise → D_1 ∨ … ∨ D_k` is satisfied by a database when
+//! every premise match extends to *some* disjunct: its equalities and
+//! comparisons hold under the match, and its atoms embed into the database
+//! (existential variables may map to any stored value, including labeled
+//! nulls). A denial (`k = 0`) is satisfied when the premise never matches.
+//!
+//! These checks serve three callers:
+//! * the chase, to decide whether a dependency still has violations,
+//! * the validator in `grom` (the soundness certificate: `V_T(J_T)` must
+//!   satisfy the original semantic mapping), and
+//! * tests comparing greedy and exhaustive ded-chase results.
+
+use std::fmt;
+
+use grom_lang::{Bindings, Dependency, Disjunct, Literal};
+
+use crate::db::Db;
+use crate::eval::{evaluate_body_streaming, has_match, Control};
+
+/// A witness that a dependency is violated: the premise match for which no
+/// disjunct can be satisfied.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub dependency: std::sync::Arc<str>,
+    pub bindings: Bindings,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dependency `{}` violated at {}", self.dependency, self.bindings)
+    }
+}
+
+/// Is `disjunct` satisfied in `db` under the premise match `bindings`?
+pub fn disjunct_satisfied(db: &impl Db, disjunct: &Disjunct, bindings: &Bindings) -> bool {
+    // Equalities: both sides must be bound (safety) and equal.
+    for (l, r) in &disjunct.eqs {
+        let (Some(lv), Some(rv)) = (bindings.eval_term(l), bindings.eval_term(r)) else {
+            return false;
+        };
+        if lv != rv {
+            return false;
+        }
+    }
+    // Comparisons: must be bound and hold.
+    for c in &disjunct.cmps {
+        if !bindings.eval_comparison(c).unwrap_or(false) {
+            return false;
+        }
+    }
+    // Atoms: embed as a conjunctive query seeded with the premise match.
+    if disjunct.atoms.is_empty() {
+        return true;
+    }
+    let body: Vec<Literal> = disjunct.atoms.iter().cloned().map(Literal::Pos).collect();
+    has_match(db, &body, bindings)
+}
+
+/// Find the first violation of `dep` in `db`, if any.
+pub fn find_violation(db: &impl Db, dep: &Dependency) -> Option<Violation> {
+    let mut found = None;
+    evaluate_body_streaming(db, &dep.premise, &Bindings::new(), |b| {
+        let ok = dep
+            .disjuncts
+            .iter()
+            .any(|d| disjunct_satisfied(db, d, b));
+        if ok {
+            Control::Continue
+        } else {
+            found = Some(Violation {
+                dependency: dep.name.clone(),
+                bindings: b.clone(),
+            });
+            Control::Stop
+        }
+    });
+    found
+}
+
+/// Does `db` satisfy `dep`?
+pub fn dependency_satisfied(db: &impl Db, dep: &Dependency) -> bool {
+    find_violation(db, dep).is_none()
+}
+
+/// Check a whole set of dependencies; returns one witness per violated
+/// dependency (empty = all satisfied).
+pub fn instance_satisfies<'d>(
+    db: &impl Db,
+    deps: impl IntoIterator<Item = &'d Dependency>,
+) -> Vec<Violation> {
+    deps.into_iter().filter_map(|d| find_violation(db, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_data::{Instance, Value};
+    use grom_lang::parser::parse_dependency;
+
+    fn inst(facts: &[(&str, &[i64])]) -> Instance {
+        let mut i = Instance::new();
+        for (rel, vals) in facts {
+            i.add(*rel, vals.iter().map(|&v| Value::int(v)).collect())
+                .unwrap();
+        }
+        i
+    }
+
+    #[test]
+    fn tgd_satisfaction() {
+        let dep = parse_dependency("tgd m: S(x) -> T(x, y).").unwrap();
+        // Satisfied: T has a tuple for x=1 with any second column.
+        let db = inst(&[("S", &[1]), ("T", &[1, 9])]);
+        assert!(dependency_satisfied(&db, &dep));
+        // Violated: S(2) has no T-tuple.
+        let db = inst(&[("S", &[1]), ("S", &[2]), ("T", &[1, 9])]);
+        let v = find_violation(&db, &dep).unwrap();
+        assert_eq!(v.dependency.as_ref(), "m");
+        assert_eq!(v.bindings.get(&"x".into()), Some(&Value::int(2)));
+    }
+
+    #[test]
+    fn existential_witness_may_be_a_null() {
+        let dep = parse_dependency("tgd m: S(x) -> T(x, y).").unwrap();
+        let mut db = inst(&[("S", &[1])]);
+        db.add("T", vec![Value::int(1), Value::null(0)]).unwrap();
+        assert!(dependency_satisfied(&db, &dep));
+    }
+
+    #[test]
+    fn egd_satisfaction() {
+        let dep = parse_dependency("egd e: T(x, n), T(y, n) -> x = y.").unwrap();
+        let db = inst(&[("T", &[1, 7]), ("T", &[2, 8])]);
+        assert!(dependency_satisfied(&db, &dep));
+        let db = inst(&[("T", &[1, 7]), ("T", &[2, 7])]);
+        assert!(!dependency_satisfied(&db, &dep));
+    }
+
+    #[test]
+    fn denial_satisfaction() {
+        let dep = parse_dependency("dep n: T(x, x) -> false.").unwrap();
+        let db = inst(&[("T", &[1, 2])]);
+        assert!(dependency_satisfied(&db, &dep));
+        let db = inst(&[("T", &[3, 3])]);
+        assert!(!dependency_satisfied(&db, &dep));
+    }
+
+    #[test]
+    fn ded_satisfied_by_any_disjunct() {
+        // The paper's d0 shape.
+        let dep = parse_dependency(
+            "ded d0: P(p1, n), P(p2, n) -> p1 = p2 | R(r, p1) | R(r2, p2).",
+        )
+        .unwrap();
+        // Same name, different ids, but p2 has an R-tuple: satisfied.
+        let db = inst(&[("P", &[1, 7]), ("P", &[2, 7]), ("R", &[5, 2])]);
+        assert!(dependency_satisfied(&db, &dep));
+        // No R-tuples and different ids: violated.
+        let db = inst(&[("P", &[1, 7]), ("P", &[2, 7])]);
+        assert!(!dependency_satisfied(&db, &dep));
+        // Equal ids satisfy the first disjunct.
+        let db = inst(&[("P", &[1, 7])]);
+        assert!(dependency_satisfied(&db, &dep));
+    }
+
+    #[test]
+    fn disjunct_with_comparison() {
+        let dep = parse_dependency("dep d: S(x, y) -> T(x), y > 0.").unwrap();
+        let db = inst(&[("S", &[1, 5]), ("T", &[1])]);
+        assert!(dependency_satisfied(&db, &dep));
+        let db = inst(&[("S", &[1, -5]), ("T", &[1])]);
+        assert!(!dependency_satisfied(&db, &dep));
+    }
+
+    #[test]
+    fn premise_with_comparison() {
+        let dep = parse_dependency("tgd m: S(x, r), r >= 4 -> T(x).").unwrap();
+        // r = 3 < 4: premise never matches, trivially satisfied.
+        let db = inst(&[("S", &[1, 3])]);
+        assert!(dependency_satisfied(&db, &dep));
+        let db = inst(&[("S", &[1, 4])]);
+        assert!(!dependency_satisfied(&db, &dep));
+    }
+
+    #[test]
+    fn premise_with_negation() {
+        let dep =
+            parse_dependency("dep d: S(x), not Block(x) -> T(x).").unwrap();
+        let db = inst(&[("S", &[1]), ("Block", &[1])]);
+        assert!(dependency_satisfied(&db, &dep));
+        let db = inst(&[("S", &[1])]);
+        assert!(!dependency_satisfied(&db, &dep));
+    }
+
+    #[test]
+    fn instance_satisfies_reports_per_dependency() {
+        let d1 = parse_dependency("tgd a: S(x) -> T(x, y).").unwrap();
+        let d2 = parse_dependency("dep b: S(x) -> false.").unwrap();
+        let db = inst(&[("S", &[1])]);
+        let violations = instance_satisfies(&db, [&d1, &d2]);
+        assert_eq!(violations.len(), 2);
+        let names: Vec<&str> = violations.iter().map(|v| v.dependency.as_ref()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn equality_of_nulls_by_label() {
+        let dep = parse_dependency("egd e: T(x, n), T(y, n) -> x = y.").unwrap();
+        let mut db = Instance::new();
+        db.add("T", vec![Value::null(0), Value::int(7)]).unwrap();
+        db.add("T", vec![Value::null(0), Value::int(7)]).unwrap(); // dedup: same tuple
+        assert!(dependency_satisfied(&db, &dep));
+        db.add("T", vec![Value::null(1), Value::int(7)]).unwrap();
+        assert!(!dependency_satisfied(&db, &dep)); // N0 != N1
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors raised by the language layer: malformed rules, unsafe
+//! dependencies, recursion through views, parse errors.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised by validation and parsing in `grom-lang`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Two rules for the same view predicate disagree on arity.
+    ViewArityMismatch {
+        view: Arc<str>,
+        expected: usize,
+        actual: usize,
+    },
+    /// The view graph is recursive (GROM requires *non-recursive* Datalog).
+    RecursiveViews { cycle: Vec<Arc<str>> },
+    /// A safety (range-restriction) violation; `context` names the rule or
+    /// dependency, `detail` explains which variable is unsafe and why.
+    Unsafe { context: String, detail: String },
+    /// The same atom has inconsistent arity across the program.
+    PredicateArityMismatch {
+        predicate: Arc<str>,
+        expected: usize,
+        actual: usize,
+    },
+    /// A parse error, with 1-based line/column and a description.
+    Parse {
+        line: usize,
+        column: usize,
+        message: String,
+    },
+}
+
+impl LangError {
+    pub fn parse(line: usize, column: usize, message: impl Into<String>) -> Self {
+        LangError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::ViewArityMismatch {
+                view,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "rules for view `{view}` disagree on arity: {expected} vs {actual}"
+            ),
+            LangError::RecursiveViews { cycle } => {
+                write!(f, "view definitions are recursive: ")?;
+                for (i, v) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" -> ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            LangError::Unsafe { context, detail } => {
+                write!(f, "unsafe {context}: {detail}")
+            }
+            LangError::PredicateArityMismatch {
+                predicate,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "predicate `{predicate}` used with arity {actual}, expected {expected}"
+            ),
+            LangError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

@@ -1,0 +1,229 @@
+//! Safety (range restriction) checks.
+//!
+//! GROM evaluates views and chases dependencies by joining positive
+//! relational atoms and then filtering; a rule or dependency is *safe* when
+//! that strategy binds every variable it needs:
+//!
+//! * every **head variable** of a view rule occurs in a positive body atom;
+//! * every **comparison variable** occurs in a positive body atom (otherwise
+//!   the comparison cannot be evaluated);
+//! * variables of a **negated atom** either occur in a positive body atom or
+//!   are *local* to the negation (implicitly quantified inside it) — always
+//!   safe, so nothing to check beyond the above;
+//! * in a dependency, **equality conclusions** may only equate terms bound
+//!   by the premise or — after the rewriter's normalization — constants;
+//!   equalities over existential variables are meaningless for the chase;
+//! * **disjunct comparisons** may only mention premise variables (the chase
+//!   cannot invent a null satisfying `x < 2`).
+
+use std::collections::BTreeSet;
+
+use crate::ast::{positively_bound_variables, Literal, Term, Var};
+use crate::dependency::Dependency;
+use crate::error::LangError;
+use crate::view::ViewRule;
+
+fn check_comparisons_bound(
+    body: &[Literal],
+    bound: &BTreeSet<Var>,
+    context: &str,
+) -> Result<(), LangError> {
+    for lit in body {
+        if let Literal::Cmp(c) = lit {
+            for v in c.variables() {
+                if !bound.contains(&v) {
+                    return Err(LangError::Unsafe {
+                        context: context.to_string(),
+                        detail: format!(
+                            "comparison `{c}` uses variable `{v}` not bound by any positive atom"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check safety of a view rule; see the module docs.
+pub fn check_view_rule(rule: &ViewRule) -> Result<(), LangError> {
+    let context = format!("view rule for `{}`", rule.head.predicate);
+    let bound = positively_bound_variables(&rule.body);
+    for v in rule.head.variables() {
+        if !bound.contains(&v) {
+            return Err(LangError::Unsafe {
+                context,
+                detail: format!(
+                    "head variable `{v}` does not occur in any positive body atom"
+                ),
+            });
+        }
+    }
+    check_comparisons_bound(&rule.body, &bound, &context)?;
+    Ok(())
+}
+
+/// Check safety of a dependency *as an input mapping or as chase input*.
+///
+/// Premise: comparison variables must be positively bound (negated premise
+/// atoms are allowed here — the rewriter eliminates them; the chase itself
+/// additionally refuses negated premises, checked by the chase config).
+/// Conclusions: equalities and comparisons must only use premise variables.
+pub fn check_dependency(dep: &Dependency) -> Result<(), LangError> {
+    let context = format!("dependency `{}`", dep.name);
+    let bound = positively_bound_variables(&dep.premise);
+    check_comparisons_bound(&dep.premise, &bound, &context)?;
+
+    for (i, d) in dep.disjuncts.iter().enumerate() {
+        for (l, r) in &d.eqs {
+            for t in [l, r] {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        return Err(LangError::Unsafe {
+                            context,
+                            detail: format!(
+                                "equality `{l} = {r}` in disjunct {i} uses variable `{v}` \
+                                 not bound by the premise"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        for c in &d.cmps {
+            for v in c.variables() {
+                if !bound.contains(&v) {
+                    return Err(LangError::Unsafe {
+                        context,
+                        detail: format!(
+                            "comparison `{c}` in disjunct {i} uses variable `{v}` \
+                             not bound by the premise"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, CmpOp, Comparison};
+    use crate::dependency::Disjunct;
+
+    fn atom(p: &str, vars: &[&str]) -> Atom {
+        Atom::new(p, vars.iter().map(Term::var).collect())
+    }
+
+    #[test]
+    fn safe_rule_passes() {
+        let rule = ViewRule::new(
+            atom("V", &["x"]),
+            vec![
+                Literal::Pos(atom("A", &["x", "y"])),
+                Literal::Neg(atom("B", &["x", "z"])),
+                Literal::Cmp(Comparison::new(CmpOp::Lt, Term::var("y"), Term::cons(2i64))),
+            ],
+        );
+        assert!(check_view_rule(&rule).is_ok());
+    }
+
+    #[test]
+    fn unbound_head_variable_rejected() {
+        let rule = ViewRule::new(
+            atom("V", &["x", "w"]),
+            vec![Literal::Pos(atom("A", &["x"]))],
+        );
+        let err = check_view_rule(&rule).unwrap_err();
+        assert!(err.to_string().contains("head variable `w`"));
+    }
+
+    #[test]
+    fn head_variable_bound_only_by_negation_rejected() {
+        let rule = ViewRule::new(
+            atom("V", &["x"]),
+            vec![Literal::Neg(atom("A", &["x"]))],
+        );
+        assert!(check_view_rule(&rule).is_err());
+    }
+
+    #[test]
+    fn unbound_comparison_variable_rejected() {
+        let rule = ViewRule::new(
+            atom("V", &["x"]),
+            vec![
+                Literal::Pos(atom("A", &["x"])),
+                Literal::Cmp(Comparison::new(CmpOp::Lt, Term::var("q"), Term::cons(2i64))),
+            ],
+        );
+        let err = check_view_rule(&rule).unwrap_err();
+        assert!(err.to_string().contains("comparison"));
+    }
+
+    #[test]
+    fn negation_local_variables_are_fine() {
+        // rid occurs only in the negated atom: implicitly ¬∃rid — safe.
+        let rule = ViewRule::new(
+            atom("PopularProduct", &["pid"]),
+            vec![
+                Literal::Pos(atom("T_Product", &["pid", "n"])),
+                Literal::Neg(atom("T_Rating", &["rid", "pid"])),
+            ],
+        );
+        assert!(check_view_rule(&rule).is_ok());
+    }
+
+    #[test]
+    fn dependency_equality_over_existential_rejected() {
+        let dep = Dependency::new(
+            "e",
+            vec![Literal::Pos(atom("A", &["x"]))],
+            vec![Disjunct::equality(Term::var("x"), Term::var("fresh"))],
+        );
+        let err = check_dependency(&dep).unwrap_err();
+        assert!(err.to_string().contains("equality"));
+    }
+
+    #[test]
+    fn dependency_disjunct_comparison_over_existential_rejected() {
+        let dep = Dependency::new(
+            "d",
+            vec![Literal::Pos(atom("A", &["x"]))],
+            vec![Disjunct {
+                atoms: vec![atom("B", &["x", "y"])],
+                eqs: vec![],
+                cmps: vec![Comparison::new(CmpOp::Lt, Term::var("y"), Term::cons(2i64))],
+            }],
+        );
+        assert!(check_dependency(&dep).is_err());
+    }
+
+    #[test]
+    fn dependency_with_constant_equality_passes() {
+        let dep = Dependency::new(
+            "e",
+            vec![Literal::Pos(atom("A", &["x"]))],
+            vec![Disjunct::equality(Term::var("x"), Term::cons(1i64))],
+        );
+        assert!(check_dependency(&dep).is_ok());
+    }
+
+    #[test]
+    fn paper_tgd_is_safe() {
+        let dep = Dependency::tgd(
+            "m2",
+            vec![
+                Literal::Pos(atom("S_Product", &["pid", "name", "store", "rating"])),
+                Literal::Cmp(Comparison::new(
+                    CmpOp::Geq,
+                    Term::var("rating"),
+                    Term::cons(4i64),
+                )),
+            ],
+            vec![atom("PopularProduct", &["pid", "name"])],
+        );
+        assert!(check_dependency(&dep).is_ok());
+    }
+}

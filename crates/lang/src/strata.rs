@@ -1,0 +1,215 @@
+//! Non-recursion check and materialization order for view sets.
+//!
+//! GROM's view language is *non-recursive* Datalog with negation. A
+//! non-recursive program is trivially stratified: any topological order of
+//! the predicate dependency graph (definitions before uses) is a valid
+//! materialization order. This module computes that order and reports
+//! cycles with an explicit witness path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::LangError;
+use crate::view::ViewSet;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mark {
+    Unvisited,
+    InProgress,
+    Done,
+}
+
+/// Compute a materialization order for the views: every view appears after
+/// all views it depends on (positively or negatively). Errors with a cycle
+/// witness if the definitions are recursive.
+pub fn materialization_order(views: &ViewSet) -> Result<Vec<Arc<str>>, LangError> {
+    // Adjacency: view predicate -> view predicates its rules mention.
+    let mut deps: BTreeMap<Arc<str>, Vec<Arc<str>>> = BTreeMap::new();
+    for name in views.view_names() {
+        let mut targets = Vec::new();
+        for rule in views.rules_of(name) {
+            let (pos, neg) = rule.referenced_predicates();
+            for p in pos.into_iter().chain(neg) {
+                if views.is_view(&p) && !targets.contains(&p) {
+                    targets.push(p);
+                }
+            }
+        }
+        deps.insert(name.clone(), targets);
+    }
+
+    let mut marks: BTreeMap<Arc<str>, Mark> =
+        deps.keys().map(|k| (k.clone(), Mark::Unvisited)).collect();
+    let mut order = Vec::new();
+    let mut stack = Vec::new();
+
+    fn visit(
+        node: &Arc<str>,
+        deps: &BTreeMap<Arc<str>, Vec<Arc<str>>>,
+        marks: &mut BTreeMap<Arc<str>, Mark>,
+        order: &mut Vec<Arc<str>>,
+        stack: &mut Vec<Arc<str>>,
+    ) -> Result<(), LangError> {
+        match marks[node] {
+            Mark::Done => return Ok(()),
+            Mark::InProgress => {
+                // Cycle: slice the stack from the first occurrence of `node`.
+                let start = stack.iter().position(|n| n == node).unwrap_or(0);
+                let mut cycle: Vec<Arc<str>> = stack[start..].to_vec();
+                cycle.push(node.clone());
+                return Err(LangError::RecursiveViews { cycle });
+            }
+            Mark::Unvisited => {}
+        }
+        marks.insert(node.clone(), Mark::InProgress);
+        stack.push(node.clone());
+        for next in &deps[node] {
+            visit(next, deps, marks, order, stack)?;
+        }
+        stack.pop();
+        marks.insert(node.clone(), Mark::Done);
+        order.push(node.clone());
+        Ok(())
+    }
+
+    let keys: Vec<Arc<str>> = deps.keys().cloned().collect();
+    for node in &keys {
+        visit(node, &deps, &mut marks, &mut order, &mut stack)?;
+    }
+    Ok(order)
+}
+
+/// Group the materialization order into *strata*: views in stratum `k`
+/// depend only on base tables and on views in strata `< k` for negated
+/// atoms, `<= k`… — since the program is non-recursive, each view gets its
+/// own conceptual stratum; this helper reports the *depth* of each view in
+/// the dependency DAG, which the restriction analyzer uses to report
+/// negation nesting.
+pub fn view_depths(views: &ViewSet) -> Result<BTreeMap<Arc<str>, usize>, LangError> {
+    let order = materialization_order(views)?;
+    let mut depth: BTreeMap<Arc<str>, usize> = BTreeMap::new();
+    for name in &order {
+        let mut d = 0;
+        for rule in views.rules_of(name) {
+            let (pos, neg) = rule.referenced_predicates();
+            for p in pos.into_iter().chain(neg) {
+                if let Some(pd) = depth.get(&p) {
+                    d = d.max(pd + 1);
+                }
+            }
+        }
+        depth.insert(name.clone(), d);
+    }
+    Ok(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Literal, Term};
+    use crate::view::ViewRule;
+
+    fn atom(p: &str, vars: &[&str]) -> Atom {
+        Atom::new(p, vars.iter().map(Term::var).collect())
+    }
+
+    fn chain(n: usize) -> ViewSet {
+        // V0 <- Base; V1 <- V0; ... V{n-1} <- V{n-2}
+        let mut vs = ViewSet::new();
+        for i in 0..n {
+            let body = if i == 0 {
+                Literal::Pos(atom("Base", &["x"]))
+            } else {
+                Literal::Pos(atom(&format!("V{}", i - 1), &["x"]))
+            };
+            vs.add_rule(ViewRule::new(atom(&format!("V{i}"), &["x"]), vec![body]))
+                .unwrap();
+        }
+        vs
+    }
+
+    #[test]
+    fn chain_orders_and_depths() {
+        let vs = chain(4);
+        let order = materialization_order(&vs).unwrap();
+        let pos = |n: &str| order.iter().position(|p| p.as_ref() == n).unwrap();
+        assert!(pos("V0") < pos("V1"));
+        assert!(pos("V1") < pos("V2"));
+        assert!(pos("V2") < pos("V3"));
+
+        let depths = view_depths(&vs).unwrap();
+        assert_eq!(depths[&Arc::from("V0")], 0);
+        assert_eq!(depths[&Arc::from("V3")], 3);
+    }
+
+    #[test]
+    fn cycle_reports_witness() {
+        let mut vs = ViewSet::new();
+        vs.add_rule(ViewRule::new(
+            atom("A", &["x"]),
+            vec![Literal::Pos(atom("B", &["x"]))],
+        ))
+        .unwrap();
+        vs.add_rule(ViewRule::new(
+            atom("B", &["x"]),
+            vec![Literal::Neg(atom("C", &["x"]))],
+        ))
+        .unwrap();
+        vs.add_rule(ViewRule::new(
+            atom("C", &["x"]),
+            vec![Literal::Pos(atom("A", &["x"]))],
+        ))
+        .unwrap();
+        match materialization_order(&vs) {
+            Err(LangError::RecursiveViews { cycle }) => {
+                // The witness must close on itself.
+                assert_eq!(cycle.first(), cycle.last());
+                assert!(cycle.len() >= 3);
+            }
+            other => panic!("expected recursion error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies_ok() {
+        // D <- B, C; B <- A; C <- A; A <- Base.
+        let mut vs = ViewSet::new();
+        vs.add_rule(ViewRule::new(
+            atom("A", &["x"]),
+            vec![Literal::Pos(atom("Base", &["x"]))],
+        ))
+        .unwrap();
+        vs.add_rule(ViewRule::new(
+            atom("B", &["x"]),
+            vec![Literal::Pos(atom("A", &["x"]))],
+        ))
+        .unwrap();
+        vs.add_rule(ViewRule::new(
+            atom("C", &["x"]),
+            vec![Literal::Pos(atom("A", &["x"]))],
+        ))
+        .unwrap();
+        vs.add_rule(ViewRule::new(
+            atom("D", &["x"]),
+            vec![
+                Literal::Pos(atom("B", &["x"])),
+                Literal::Pos(atom("C", &["x"])),
+            ],
+        ))
+        .unwrap();
+        let depths = view_depths(&vs).unwrap();
+        assert_eq!(depths[&Arc::from("D")], 2);
+        let order = materialization_order(&vs).unwrap();
+        assert_eq!(order.len(), 4);
+        let pos = |n: &str| order.iter().position(|p| p.as_ref() == n).unwrap();
+        assert!(pos("A") < pos("B") && pos("A") < pos("C"));
+        assert!(pos("B") < pos("D") && pos("C") < pos("D"));
+    }
+
+    #[test]
+    fn empty_view_set() {
+        let vs = ViewSet::new();
+        assert!(materialization_order(&vs).unwrap().is_empty());
+        assert!(view_depths(&vs).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Substitutions: variable → term renamings and variable → value bindings.
+//!
+//! Two flavors are used throughout GROM:
+//!
+//! * [`TermSubst`] maps variables to *terms* (variables or constants). This
+//!   is the symbolic substitution the rewriter applies when unfolding a view
+//!   atom: head variables map to the atom's argument terms, body-only
+//!   variables map to fresh variables.
+//! * [`Bindings`] maps variables to *values*. This is the runtime
+//!   environment produced by joins in the engine and consumed by the chase
+//!   when instantiating conclusions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use grom_data::Value;
+
+use crate::ast::{Atom, Comparison, Literal, Term, Var};
+
+/// A symbolic substitution `var → term`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TermSubst {
+    map: BTreeMap<Var, Term>,
+}
+
+impl TermSubst {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn bind(&mut self, var: Var, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    pub fn get(&self, var: &Var) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Apply to a term. Unmapped variables stay themselves.
+    pub fn apply_term(&self, term: &Term) -> Term {
+        match term {
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| term.clone()),
+            Term::Const(_) => term.clone(),
+        }
+    }
+
+    pub fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom {
+            predicate: atom.predicate.clone(),
+            args: atom.args.iter().map(|t| self.apply_term(t)).collect(),
+        }
+    }
+
+    pub fn apply_comparison(&self, cmp: &Comparison) -> Comparison {
+        Comparison {
+            op: cmp.op,
+            lhs: self.apply_term(&cmp.lhs),
+            rhs: self.apply_term(&cmp.rhs),
+        }
+    }
+
+    pub fn apply_literal(&self, lit: &Literal) -> Literal {
+        match lit {
+            Literal::Pos(a) => Literal::Pos(self.apply_atom(a)),
+            Literal::Neg(a) => Literal::Neg(self.apply_atom(a)),
+            Literal::Cmp(c) => Literal::Cmp(self.apply_comparison(c)),
+        }
+    }
+
+    pub fn apply_body(&self, body: &[Literal]) -> Vec<Literal> {
+        body.iter().map(|l| self.apply_literal(l)).collect()
+    }
+}
+
+impl fmt::Display for TermSubst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// A runtime environment `var → value`, produced by evaluating a premise
+/// over an instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bindings {
+    map: BTreeMap<Var, Value>,
+}
+
+impl Bindings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn bind(&mut self, var: Var, value: Value) {
+        self.map.insert(var, value);
+    }
+
+    pub fn get(&self, var: &Var) -> Option<&Value> {
+        self.map.get(var)
+    }
+
+    pub fn contains(&self, var: &Var) -> bool {
+        self.map.contains_key(var)
+    }
+
+    pub fn unbind(&mut self, var: &Var) {
+        self.map.remove(var);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Value)> {
+        self.map.iter()
+    }
+
+    /// Evaluate a term to a value under these bindings. `None` if the term
+    /// is an unbound variable.
+    pub fn eval_term(&self, term: &Term) -> Option<Value> {
+        match term {
+            Term::Var(v) => self.map.get(v).cloned(),
+            Term::Const(c) => Some(c.clone()),
+        }
+    }
+
+    /// Evaluate a comparison under these bindings. `None` if a side is
+    /// unbound, otherwise the truth value.
+    pub fn eval_comparison(&self, cmp: &Comparison) -> Option<bool> {
+        let lhs = self.eval_term(&cmp.lhs)?;
+        let rhs = self.eval_term(&cmp.rhs)?;
+        Some(cmp.op.eval(&lhs, &rhs))
+    }
+
+    /// Instantiate an atom into a lookup pattern: bound positions become
+    /// `Some(value)`, unbound variables become `None`.
+    pub fn atom_pattern(&self, atom: &Atom) -> Vec<Option<Value>> {
+        atom.args.iter().map(|t| self.eval_term(t)).collect()
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v} = {t}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    #[test]
+    fn term_subst_applies_and_leaves_unmapped() {
+        let mut s = TermSubst::new();
+        s.bind(Term::var("x").as_var().unwrap().clone(), Term::var("y"));
+        s.bind(Term::var("z").as_var().unwrap().clone(), Term::cons(5i64));
+        let atom = Atom::new("R", vec![Term::var("x"), Term::var("z"), Term::var("w")]);
+        let out = s.apply_atom(&atom);
+        assert_eq!(
+            out,
+            Atom::new("R", vec![Term::var("y"), Term::cons(5i64), Term::var("w")])
+        );
+    }
+
+    #[test]
+    fn term_subst_on_literals() {
+        let mut s = TermSubst::new();
+        s.bind("x".into(), Term::cons(1i64));
+        let lit = Literal::Neg(Atom::new("S", vec![Term::var("x")]));
+        assert_eq!(
+            s.apply_literal(&lit),
+            Literal::Neg(Atom::new("S", vec![Term::cons(1i64)]))
+        );
+        let cmp = Literal::Cmp(Comparison::new(CmpOp::Lt, Term::var("x"), Term::var("y")));
+        assert_eq!(
+            s.apply_literal(&cmp),
+            Literal::Cmp(Comparison::new(CmpOp::Lt, Term::cons(1i64), Term::var("y")))
+        );
+    }
+
+    #[test]
+    fn bindings_eval() {
+        let mut b = Bindings::new();
+        b.bind("x".into(), Value::int(3));
+        assert_eq!(b.eval_term(&Term::var("x")), Some(Value::int(3)));
+        assert_eq!(b.eval_term(&Term::var("y")), None);
+        assert_eq!(b.eval_term(&Term::cons(9i64)), Some(Value::int(9)));
+
+        let c = Comparison::new(CmpOp::Lt, Term::var("x"), Term::cons(5i64));
+        assert_eq!(b.eval_comparison(&c), Some(true));
+        let c = Comparison::new(CmpOp::Lt, Term::var("y"), Term::cons(5i64));
+        assert_eq!(b.eval_comparison(&c), None);
+    }
+
+    #[test]
+    fn atom_pattern_mixes_bound_and_unbound() {
+        let mut b = Bindings::new();
+        b.bind("x".into(), Value::int(3));
+        let atom = Atom::new("R", vec![Term::var("x"), Term::var("y"), Term::cons(7i64)]);
+        assert_eq!(
+            b.atom_pattern(&atom),
+            vec![Some(Value::int(3)), None, Some(Value::int(7))]
+        );
+    }
+
+    #[test]
+    fn bindings_unbind() {
+        let mut b = Bindings::new();
+        b.bind("x".into(), Value::int(3));
+        assert!(b.contains(&"x".into()));
+        b.unbind(&"x".into());
+        assert!(!b.contains(&"x".into()));
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,375 @@
+//! View definitions: the semantic schemas `V_S`, `V_T`.
+//!
+//! A semantic schema is a set of virtual predicates defined over base
+//! tables (and over other views) by rules in **non-recursive Datalog with
+//! negation**. A view may have several rules — a union — and rule bodies
+//! may contain negated base atoms (view `v2` of the paper negates
+//! `T-Rating`) or negated view atoms (`v3` negates `PopularProduct`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ast::{Atom, Literal};
+use crate::error::LangError;
+use crate::safety;
+use crate::strata;
+
+/// One rule `Head(x̄) ⇐ body` of a view definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewRule {
+    pub head: Atom,
+    pub body: Vec<Literal>,
+}
+
+impl ViewRule {
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Self { head, body }
+    }
+
+    /// Predicates this rule reads, split into (positive, negated).
+    pub fn referenced_predicates(&self) -> (BTreeSet<Arc<str>>, BTreeSet<Arc<str>>) {
+        let mut pos = BTreeSet::new();
+        let mut neg = BTreeSet::new();
+        for lit in &self.body {
+            match lit {
+                Literal::Pos(a) => {
+                    pos.insert(a.predicate.clone());
+                }
+                Literal::Neg(a) => {
+                    neg.insert(a.predicate.clone());
+                }
+                Literal::Cmp(_) => {}
+            }
+        }
+        (pos, neg)
+    }
+}
+
+impl fmt::Display for ViewRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view {} <- ", self.head)?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        f.write_str(".")
+    }
+}
+
+/// A set of view definitions, validated to be non-recursive and safe.
+///
+/// Use [`ViewSet::builder`]-style construction via [`ViewSet::new`] /
+/// [`ViewSet::from_rules`]; [`ViewSet::validate`] performs the checks and is
+/// required before the set is handed to the engine or the rewriter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewSet {
+    rules: Vec<ViewRule>,
+    /// view predicate → indexes into `rules`, in declaration order.
+    by_pred: BTreeMap<Arc<str>, Vec<usize>>,
+}
+
+impl ViewSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_rules(rules: impl IntoIterator<Item = ViewRule>) -> Result<Self, LangError> {
+        let mut vs = ViewSet::new();
+        for r in rules {
+            vs.add_rule(r)?;
+        }
+        Ok(vs)
+    }
+
+    /// Add a rule. Rules for the same head predicate form a union and must
+    /// agree on arity.
+    pub fn add_rule(&mut self, rule: ViewRule) -> Result<(), LangError> {
+        let pred = rule.head.predicate.clone();
+        if let Some(first) = self.by_pred.get(&pred).and_then(|v| v.first()) {
+            let expected = self.rules[*first].head.arity();
+            if rule.head.arity() != expected {
+                return Err(LangError::ViewArityMismatch {
+                    view: pred,
+                    expected,
+                    actual: rule.head.arity(),
+                });
+            }
+        }
+        self.by_pred.entry(pred).or_default().push(self.rules.len());
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Is `pred` a view (as opposed to a base table)?
+    pub fn is_view(&self, pred: &str) -> bool {
+        self.by_pred.contains_key(pred)
+    }
+
+    /// The rules defining `pred`, in declaration order (empty if not a view).
+    pub fn rules_of(&self, pred: &str) -> Vec<&ViewRule> {
+        self.by_pred
+            .get(pred)
+            .map(|ix| ix.iter().map(|&i| &self.rules[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// All rules, in declaration order.
+    pub fn rules(&self) -> &[ViewRule] {
+        &self.rules
+    }
+
+    /// The view predicate names, sorted.
+    pub fn view_names(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.by_pred.keys()
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_pred.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The arity of view `pred`, if defined.
+    pub fn arity_of(&self, pred: &str) -> Option<usize> {
+        self.by_pred
+            .get(pred)
+            .and_then(|ix| ix.first())
+            .map(|&i| self.rules[i].head.arity())
+    }
+
+    /// Base (non-view) predicates read anywhere in the definitions.
+    pub fn base_predicates(&self) -> BTreeSet<Arc<str>> {
+        let mut out = BTreeSet::new();
+        for rule in &self.rules {
+            let (pos, neg) = rule.referenced_predicates();
+            for p in pos.into_iter().chain(neg) {
+                if !self.is_view(&p) {
+                    out.insert(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate the set: safety of every rule and non-recursion of the view
+    /// graph. Returns the materialization order (a topological order of the
+    /// view predicates: definitions before uses).
+    pub fn validate(&self) -> Result<Vec<Arc<str>>, LangError> {
+        for rule in &self.rules {
+            safety::check_view_rule(rule)?;
+        }
+        strata::materialization_order(self)
+    }
+
+    /// The union of two view sets (e.g. `Υ_S ∪ Υ_T`); predicates may not be
+    /// defined in both.
+    pub fn union(&self, other: &ViewSet) -> Result<ViewSet, LangError> {
+        let mut out = self.clone();
+        for rule in &other.rules {
+            if self.is_view(&rule.head.predicate) {
+                // Unioning rule sets for the same predicate across schemas
+                // would silently change semantics; treat as arity conflict
+                // style error via a dedicated message.
+                return Err(LangError::Unsafe {
+                    context: format!("view `{}`", rule.head.predicate),
+                    detail: "defined in both view sets being combined".into(),
+                });
+            }
+            out.add_rule(rule.clone())?;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for ViewSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    fn atom(p: &str, vars: &[&str]) -> Atom {
+        Atom::new(p, vars.iter().map(Term::var).collect())
+    }
+
+    /// The paper's target semantic schema (views v1–v6, §2), with `0`/`1`
+    /// rating constants as ints.
+    pub(crate) fn paper_views() -> ViewSet {
+        let mut vs = ViewSet::new();
+        // v1: Product(id, name) <- T_Product(id, name, store)
+        vs.add_rule(ViewRule::new(
+            atom("Product", &["id", "name"]),
+            vec![Literal::Pos(atom("T_Product", &["id", "name", "store"]))],
+        ))
+        .unwrap();
+        // v2: PopularProduct(pid, name) <- T_Product(pid,name,store), not T_Rating(rid,pid,0)
+        vs.add_rule(ViewRule::new(
+            atom("PopularProduct", &["pid", "name"]),
+            vec![
+                Literal::Pos(atom("T_Product", &["pid", "name", "store"])),
+                Literal::Neg(Atom::new(
+                    "T_Rating",
+                    vec![Term::var("rid"), Term::var("pid"), Term::cons(0i64)],
+                )),
+            ],
+        ))
+        .unwrap();
+        // v3: AvgProduct <- T_Product, T_Rating(rid,pid,1), not PopularProduct
+        vs.add_rule(ViewRule::new(
+            atom("AvgProduct", &["pid", "name"]),
+            vec![
+                Literal::Pos(atom("T_Product", &["pid", "name", "store"])),
+                Literal::Pos(Atom::new(
+                    "T_Rating",
+                    vec![Term::var("rid"), Term::var("pid"), Term::cons(1i64)],
+                )),
+                Literal::Neg(atom("PopularProduct", &["pid", "name"])),
+            ],
+        ))
+        .unwrap();
+        // v4: UnpopularProduct <- T_Product, not AvgProduct, not PopularProduct
+        vs.add_rule(ViewRule::new(
+            atom("UnpopularProduct", &["pid", "name"]),
+            vec![
+                Literal::Pos(atom("T_Product", &["pid", "name", "store"])),
+                Literal::Neg(atom("AvgProduct", &["pid", "name"])),
+                Literal::Neg(atom("PopularProduct", &["pid", "name"])),
+            ],
+        ))
+        .unwrap();
+        // v5: SoldAt(pid, stid) <- T_Product(pid, pname, stid)
+        vs.add_rule(ViewRule::new(
+            atom("SoldAt", &["pid", "stid"]),
+            vec![Literal::Pos(atom("T_Product", &["pid", "pname", "stid"]))],
+        ))
+        .unwrap();
+        // v6: Store(id, name, addr) <- T_Store(id, name, addr, phone)
+        vs.add_rule(ViewRule::new(
+            atom("Store", &["id", "name", "addr"]),
+            vec![Literal::Pos(atom("T_Store", &["id", "name", "addr", "phone"]))],
+        ))
+        .unwrap();
+        vs
+    }
+
+    #[test]
+    fn union_views_group_and_check_arity() {
+        let mut vs = ViewSet::new();
+        vs.add_rule(ViewRule::new(
+            atom("V", &["x"]),
+            vec![Literal::Pos(atom("A", &["x"]))],
+        ))
+        .unwrap();
+        vs.add_rule(ViewRule::new(
+            atom("V", &["y"]),
+            vec![Literal::Pos(atom("B", &["y"]))],
+        ))
+        .unwrap();
+        assert_eq!(vs.rules_of("V").len(), 2);
+        assert_eq!(vs.arity_of("V"), Some(1));
+
+        let err = vs
+            .add_rule(ViewRule::new(
+                atom("V", &["x", "y"]),
+                vec![Literal::Pos(atom("A", &["x"]))],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, LangError::ViewArityMismatch { .. }));
+    }
+
+    #[test]
+    fn paper_views_validate_and_order() {
+        let vs = paper_views();
+        assert_eq!(vs.len(), 6);
+        assert!(vs.is_view("PopularProduct"));
+        assert!(!vs.is_view("T_Product"));
+        let order = vs.validate().unwrap();
+        let pos = |name: &str| order.iter().position(|p| p.as_ref() == name).unwrap();
+        // Definitions must come before uses: Popular < Avg < Unpopular.
+        assert!(pos("PopularProduct") < pos("AvgProduct"));
+        assert!(pos("AvgProduct") < pos("UnpopularProduct"));
+    }
+
+    #[test]
+    fn base_predicates_of_paper_views() {
+        let vs = paper_views();
+        let base: Vec<String> = vs.base_predicates().iter().map(|p| p.to_string()).collect();
+        assert_eq!(base, vec!["T_Product", "T_Rating", "T_Store"]);
+    }
+
+    #[test]
+    fn recursive_views_rejected() {
+        let mut vs = ViewSet::new();
+        vs.add_rule(ViewRule::new(
+            atom("V", &["x"]),
+            vec![Literal::Pos(atom("W", &["x"]))],
+        ))
+        .unwrap();
+        vs.add_rule(ViewRule::new(
+            atom("W", &["x"]),
+            vec![Literal::Pos(atom("V", &["x"]))],
+        ))
+        .unwrap();
+        let err = vs.validate().unwrap_err();
+        assert!(matches!(err, LangError::RecursiveViews { .. }));
+    }
+
+    #[test]
+    fn self_recursion_rejected() {
+        let mut vs = ViewSet::new();
+        vs.add_rule(ViewRule::new(
+            atom("V", &["x"]),
+            vec![
+                Literal::Pos(atom("A", &["x"])),
+                Literal::Neg(atom("V", &["x"])),
+            ],
+        ))
+        .unwrap();
+        assert!(matches!(
+            vs.validate().unwrap_err(),
+            LangError::RecursiveViews { .. }
+        ));
+    }
+
+    #[test]
+    fn view_set_union_rejects_double_definitions() {
+        let mut a = ViewSet::new();
+        a.add_rule(ViewRule::new(
+            atom("V", &["x"]),
+            vec![Literal::Pos(atom("A", &["x"]))],
+        ))
+        .unwrap();
+        let b = a.clone();
+        assert!(a.union(&b).is_err());
+
+        let mut c = ViewSet::new();
+        c.add_rule(ViewRule::new(
+            atom("W", &["x"]),
+            vec![Literal::Pos(atom("B", &["x"]))],
+        ))
+        .unwrap();
+        let u = a.union(&c).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn display_round_trip_syntax() {
+        let vs = paper_views();
+        let text = vs.to_string();
+        assert!(text.contains(
+            "view PopularProduct(pid, name) <- T_Product(pid, name, store), not T_Rating(rid, pid, 0)."
+        ));
+    }
+}

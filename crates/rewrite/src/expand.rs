@@ -1,0 +1,409 @@
+//! View expansion: replacing view atoms by their definitions.
+//!
+//! The expansion of a positive view atom is a **DNF**: a disjunction of
+//! conjunctions of extended literals ([`XLit`]), one disjunct per union
+//! rule, with body-only variables renamed apart. Negated atoms become
+//! [`NegTree`]s — negations of DNFs — which normalization later moves into
+//! disjuncts (premise side) or auxiliary checks (conclusion side).
+//!
+//! Non-recursion of the view set guarantees termination; the cartesian
+//! products taken across a rule body are bounded by the caller's
+//! alternative budget (exceeding it is a hard [`RewriteError::TooComplex`],
+//! because truncating a premise DNF would be unsound).
+
+use std::sync::Arc;
+
+use grom_lang::{Atom, CmpOp, Comparison, Literal, Term, TermSubst, VarGen, ViewSet};
+
+use crate::error::RewriteError;
+
+/// An extended literal: like [`Literal`] but with negation generalized to
+/// negation *trees* over expanded view bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XLit {
+    Pos(Atom),
+    Cmp(Comparison),
+    Neg(NegTree),
+}
+
+/// The negation of a DNF: `¬(∨_i ∃z̄_i conj_i)`. `source` records the
+/// original negated atom and `via` the predicate to *blame* for provenance:
+/// the enclosing view when the negation came from unfolding a view body,
+/// otherwise the negated predicate itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NegTree {
+    pub source: Atom,
+    pub via: Arc<str>,
+    pub alts: Vec<Vec<XLit>>,
+}
+
+impl XLit {
+    /// Apply a substitution (used when equality processing instantiates
+    /// existential variables — the substitution must reach inside negation
+    /// trees, whose alternatives may share those variables).
+    pub fn apply(&self, subst: &TermSubst) -> XLit {
+        match self {
+            XLit::Pos(a) => XLit::Pos(subst.apply_atom(a)),
+            XLit::Cmp(c) => XLit::Cmp(subst.apply_comparison(c)),
+            XLit::Neg(nt) => XLit::Neg(NegTree {
+                source: subst.apply_atom(&nt.source),
+                via: nt.via.clone(),
+                alts: nt
+                    .alts
+                    .iter()
+                    .map(|alt| alt.iter().map(|x| x.apply(subst)).collect())
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Collect the variables of this literal (including inside negation
+    /// trees) into `acc`.
+    pub fn collect_vars(&self, acc: &mut std::collections::BTreeSet<grom_lang::Var>) {
+        match self {
+            XLit::Pos(a) => a.collect_vars(acc),
+            XLit::Cmp(c) => c.collect_vars(acc),
+            XLit::Neg(nt) => {
+                for alt in &nt.alts {
+                    for x in alt {
+                        x.collect_vars(acc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cartesian product of DNFs with a budget.
+pub(crate) fn cartesian(
+    acc: Vec<Vec<XLit>>,
+    next: Vec<Vec<XLit>>,
+    dep: &Arc<str>,
+    budget: usize,
+) -> Result<Vec<Vec<XLit>>, RewriteError> {
+    let size = acc.len().saturating_mul(next.len());
+    if size > budget {
+        return Err(RewriteError::TooComplex {
+            dependency: dep.clone(),
+            alternatives: size,
+            budget,
+        });
+    }
+    let mut out = Vec::with_capacity(size);
+    for a in &acc {
+        for n in &next {
+            let mut row = a.clone();
+            row.extend(n.iter().cloned());
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Expand an atom into its DNF over base predicates.
+///
+/// * Base atom → a single alternative containing the atom itself.
+/// * View atom → one alternative per (recursively expanded) union rule.
+///
+/// `dep` and `budget` bound the expansion size; `vargen` renames body-only
+/// variables apart.
+pub fn expand_atom(
+    atom: &Atom,
+    views: &ViewSet,
+    vargen: &mut VarGen,
+    dep: &Arc<str>,
+    budget: usize,
+) -> Result<Vec<Vec<XLit>>, RewriteError> {
+    if !views.is_view(&atom.predicate) {
+        return Ok(vec![vec![XLit::Pos(atom.clone())]]);
+    }
+    let expected = views.arity_of(&atom.predicate).unwrap_or(0);
+    if atom.arity() != expected {
+        return Err(RewriteError::ArityMismatch {
+            predicate: atom.predicate.clone(),
+            expected,
+            actual: atom.arity(),
+        });
+    }
+
+    let mut alts: Vec<Vec<XLit>> = Vec::new();
+    'rules: for rule in views.rules_of(&atom.predicate) {
+        // Build the head substitution; repeated head variables and head
+        // constants add equality conditions.
+        let mut subst = TermSubst::new();
+        let mut eq_conds: Vec<Comparison> = Vec::new();
+        for (head_term, arg) in rule.head.args.iter().zip(&atom.args) {
+            match head_term {
+                Term::Var(v) => match subst.get(v) {
+                    None => subst.bind(v.clone(), arg.clone()),
+                    Some(prev) if prev == arg => {}
+                    Some(prev) => {
+                        eq_conds.push(Comparison::new(CmpOp::Eq, prev.clone(), arg.clone()));
+                    }
+                },
+                Term::Const(c) => match arg {
+                    Term::Const(d) if c == d => {}
+                    Term::Const(_) => continue 'rules, // rule can never produce this atom
+                    Term::Var(_) => {
+                        eq_conds.push(Comparison::new(
+                            CmpOp::Eq,
+                            arg.clone(),
+                            Term::Const(c.clone()),
+                        ));
+                    }
+                },
+            }
+        }
+        // Rename body-only variables apart.
+        let head_vars: std::collections::BTreeSet<_> =
+            rule.head.variables().into_iter().collect();
+        for v in grom_lang::ast::body_variables(&rule.body) {
+            if !head_vars.contains(&v) {
+                subst.bind(v.clone(), Term::Var(vargen.fresh(&v)));
+            }
+        }
+
+        // Expand the substituted body.
+        let mut rule_alts: Vec<Vec<XLit>> =
+            vec![eq_conds.iter().cloned().map(XLit::Cmp).collect()];
+        for lit in subst.apply_body(&rule.body) {
+            match lit {
+                Literal::Pos(a) => {
+                    let sub = expand_atom(&a, views, vargen, dep, budget)?;
+                    rule_alts = cartesian(rule_alts, sub, dep, budget)?;
+                }
+                Literal::Neg(a) => {
+                    let tree = NegTree {
+                        source: a.clone(),
+                        // Blame the enclosing view: its body owns this
+                        // negation pattern.
+                        via: atom.predicate.clone(),
+                        alts: expand_atom(&a, views, vargen, dep, budget)?,
+                    };
+                    for alt in &mut rule_alts {
+                        alt.push(XLit::Neg(tree.clone()));
+                    }
+                }
+                Literal::Cmp(c) => {
+                    for alt in &mut rule_alts {
+                        alt.push(XLit::Cmp(c.clone()));
+                    }
+                }
+            }
+        }
+        if alts.len() + rule_alts.len() > budget {
+            return Err(RewriteError::TooComplex {
+                dependency: dep.clone(),
+                alternatives: alts.len() + rule_alts.len(),
+                budget,
+            });
+        }
+        alts.extend(rule_alts);
+    }
+    Ok(alts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_lang::Program;
+
+    fn dep_name() -> Arc<str> {
+        Arc::from("test")
+    }
+
+    fn atom(p: &str, vars: &[&str]) -> Atom {
+        Atom::new(p, vars.iter().map(Term::var).collect())
+    }
+
+    fn expand(views: &ViewSet, a: &Atom) -> Vec<Vec<XLit>> {
+        let mut vg = VarGen::new();
+        expand_atom(a, views, &mut vg, &dep_name(), 4096).unwrap()
+    }
+
+    #[test]
+    fn base_atom_passes_through() {
+        let views = ViewSet::new();
+        let a = atom("T", &["x"]);
+        let alts = expand(&views, &a);
+        assert_eq!(alts, vec![vec![XLit::Pos(a)]]);
+    }
+
+    #[test]
+    fn conjunctive_view_unfolds() {
+        let p = Program::parse("view V(x) <- A(x, y), B(y).").unwrap();
+        let alts = expand(&p.views, &atom("V", &["q"]));
+        assert_eq!(alts.len(), 1);
+        let alt = &alts[0];
+        assert_eq!(alt.len(), 2);
+        // Head var x -> q; body var y renamed fresh.
+        match &alt[0] {
+            XLit::Pos(a) => {
+                assert_eq!(a.predicate.as_ref(), "A");
+                assert_eq!(a.args[0], Term::var("q"));
+                assert!(a.args[1].as_var().unwrap().starts_with('$'));
+            }
+            other => panic!("expected positive atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_view_gives_multiple_alternatives() {
+        let p = Program::parse("view V(x) <- A(x).\nview V(x) <- B(x).").unwrap();
+        let alts = expand(&p.views, &atom("V", &["q"]));
+        assert_eq!(alts.len(), 2);
+    }
+
+    #[test]
+    fn negated_base_atom_becomes_singleton_tree() {
+        let p = Program::parse("view V(x) <- A(x), not B(x).").unwrap();
+        let alts = expand(&p.views, &atom("V", &["q"]));
+        assert_eq!(alts.len(), 1);
+        match &alts[0][1] {
+            XLit::Neg(nt) => {
+                assert_eq!(nt.source.predicate.as_ref(), "B");
+                assert_eq!(nt.alts, vec![vec![XLit::Pos(atom("B", &["q"]))]]);
+            }
+            other => panic!("expected negation tree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_view_atom_expands_inside_tree() {
+        let p = Program::parse(
+            "view Pop(x) <- A(x), not R(x).\n\
+             view Un(x) <- A(x), not Pop(x).",
+        )
+        .unwrap();
+        let alts = expand(&p.views, &atom("Un", &["q"]));
+        assert_eq!(alts.len(), 1);
+        let nt = match &alts[0][1] {
+            XLit::Neg(nt) => nt,
+            other => panic!("expected negation tree, got {other:?}"),
+        };
+        assert_eq!(nt.source.predicate.as_ref(), "Pop");
+        // Pop's expansion itself contains a nested negation tree.
+        assert_eq!(nt.alts.len(), 1);
+        assert!(matches!(&nt.alts[0][1], XLit::Neg(inner) if inner.source.predicate.as_ref() == "R"));
+    }
+
+    #[test]
+    fn nested_positive_views_flatten() {
+        let p = Program::parse(
+            "view V1(x) <- A(x).\n\
+             view V2(x) <- V1(x), B(x).",
+        )
+        .unwrap();
+        let alts = expand(&p.views, &atom("V2", &["q"]));
+        assert_eq!(alts.len(), 1);
+        let preds: Vec<&str> = alts[0]
+            .iter()
+            .filter_map(|x| match x {
+                XLit::Pos(a) => Some(a.predicate.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(preds, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn union_times_union_multiplies() {
+        let p = Program::parse(
+            "view V(x) <- A(x).\nview V(x) <- B(x).\n\
+             view W(x) <- C(x).\nview W(x) <- D(x).\n\
+             view U(x) <- V(x), W(x).",
+        )
+        .unwrap();
+        let alts = expand(&p.views, &atom("U", &["q"]));
+        assert_eq!(alts.len(), 4);
+    }
+
+    #[test]
+    fn budget_exceeded_is_error() {
+        let p = Program::parse(
+            "view V(x) <- A(x).\nview V(x) <- B(x).\n\
+             view W(x) <- V(x), V(x), V(x).",
+        )
+        .unwrap();
+        let mut vg = VarGen::new();
+        let err = expand_atom(&atom("W", &["q"]), &p.views, &mut vg, &dep_name(), 4);
+        assert!(matches!(err, Err(RewriteError::TooComplex { .. })));
+    }
+
+    #[test]
+    fn repeated_head_variable_adds_equality() {
+        let p = Program::parse("view Diag(x, x) <- A(x, y).").unwrap();
+        // Hmm — repeated head variables: Diag(a, b) requires a = b.
+        let alts = expand(&p.views, &atom("Diag", &["a", "b"]));
+        assert_eq!(alts.len(), 1);
+        let eqs: Vec<&Comparison> = alts[0]
+            .iter()
+            .filter_map(|x| match x {
+                XLit::Cmp(c) if c.op == CmpOp::Eq => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].lhs, Term::var("a"));
+        assert_eq!(eqs[0].rhs, Term::var("b"));
+    }
+
+    #[test]
+    fn constant_in_head_constrains_argument() {
+        let p = Program::parse("view Flagged(x, 1) <- A(x).").unwrap();
+        // Used with a constant that matches: no condition.
+        let alts = expand(
+            &p.views,
+            &Atom::new("Flagged", vec![Term::var("q"), Term::cons(1i64)]),
+        );
+        assert_eq!(alts.len(), 1);
+        assert_eq!(alts[0].len(), 1);
+        // Used with a mismatching constant: the rule is pruned entirely.
+        let alts = expand(
+            &p.views,
+            &Atom::new("Flagged", vec![Term::var("q"), Term::cons(2i64)]),
+        );
+        assert!(alts.is_empty());
+        // Used with a variable: equality condition appears.
+        let alts = expand(&p.views, &atom("Flagged", &["q", "w"]));
+        assert_eq!(alts.len(), 1);
+        assert!(matches!(&alts[0][0], XLit::Cmp(c) if c.op == CmpOp::Eq));
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let p = Program::parse("view V(x) <- A(x).").unwrap();
+        let mut vg = VarGen::new();
+        let err = expand_atom(&atom("V", &["a", "b"]), &p.views, &mut vg, &dep_name(), 64);
+        assert!(matches!(err, Err(RewriteError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn fresh_variables_do_not_collide_across_expansions() {
+        let p = Program::parse("view V(x) <- A(x, y).").unwrap();
+        let mut vg = VarGen::new();
+        let a1 = expand_atom(&atom("V", &["p"]), &p.views, &mut vg, &dep_name(), 64).unwrap();
+        let a2 = expand_atom(&atom("V", &["q"]), &p.views, &mut vg, &dep_name(), 64).unwrap();
+        let var_of = |alts: &Vec<Vec<XLit>>| match &alts[0][0] {
+            XLit::Pos(a) => a.args[1].as_var().unwrap().clone(),
+            _ => panic!(),
+        };
+        assert_ne!(var_of(&a1), var_of(&a2));
+    }
+
+    #[test]
+    fn substitution_reaches_inside_negation_trees() {
+        let p = Program::parse("view V(x) <- A(x), not B(x, z).").unwrap();
+        let alts = expand(&p.views, &atom("V", &["q"]));
+        let mut subst = TermSubst::new();
+        subst.bind("q".into(), Term::cons(5i64));
+        let rewritten: Vec<XLit> = alts[0].iter().map(|x| x.apply(&subst)).collect();
+        match &rewritten[1] {
+            XLit::Neg(nt) => match &nt.alts[0][0] {
+                XLit::Pos(a) => assert_eq!(a.args[0], Term::cons(5i64)),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

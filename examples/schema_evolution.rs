@@ -1,0 +1,103 @@
+//! §1(iii): "base transactional repositories … undergo modifications during
+//! the years … It is important to be able to run the existing mappings
+//! against a view over the new schema that does not change, thus keeping
+//! these modifications transparent to the users."
+//!
+//! The same semantic mapping (`Customer`, `Order` concepts) runs unchanged
+//! against two generations of the physical target schema: the views absorb
+//! the restructuring.
+//!
+//! Run with: `cargo run --example schema_evolution`
+
+use grom::prelude::*;
+
+/// Generation 1: a single wide customers table.
+const V1: &str = r#"
+    schema source {
+        S_Client(id: int, name: string, city: string);
+        S_Purchase(client: int, item: string, amount: int);
+    }
+    schema target {
+        T_Customers(id: int, name: string, city: string);
+        T_Orders(id: int, customer: int, item: string, amount: int);
+    }
+
+    view Customer(id, name) <- T_Customers(id, name, city).
+    view Order(cid, item) <- T_Orders(oid, cid, item, amount).
+
+    tgd mc: S_Client(id, name, city) -> Customer(id, name).
+    tgd mo: S_Client(id, name, city), S_Purchase(id, item, amount)
+        -> Customer(id, name), Order(id, item).
+"#;
+
+/// Generation 2: the customers table was split (name vs address), orders
+/// were renamed — but the *semantic schema and the mappings are identical*.
+const V2: &str = r#"
+    schema source {
+        S_Client(id: int, name: string, city: string);
+        S_Purchase(client: int, item: string, amount: int);
+    }
+    schema target {
+        T_CustCore(id: int, name: string);
+        T_CustAddr(id: int, city: string);
+        T_Sales(customer: int, item: string);
+    }
+
+    view Customer(id, name) <- T_CustCore(id, name).
+    view Order(cid, item) <- T_Sales(cid, item).
+
+    tgd mc: S_Client(id, name, city) -> Customer(id, name).
+    tgd mo: S_Client(id, name, city), S_Purchase(id, item, amount)
+        -> Customer(id, name), Order(id, item).
+"#;
+
+fn source() -> Instance {
+    let mut s = Instance::new();
+    for (id, name, city) in [(1, "ann", "rome"), (2, "bob", "milan")] {
+        s.add(
+            "S_Client",
+            vec![Value::int(id), Value::str(name), Value::str(city)],
+        )
+        .unwrap();
+    }
+    for (client, item, amount) in [(1, "tv", 700), (1, "radio", 40), (2, "fridge", 900)] {
+        s.add(
+            "S_Purchase",
+            vec![Value::int(client), Value::str(item), Value::int(amount)],
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn run_generation(label: &str, text: &str) {
+    let program = Program::parse(text).expect("scenario parses");
+    let scenario = MappingScenario::from_program(&program).expect("well-formed");
+    let result = scenario
+        .run(&source(), &PipelineOptions::default())
+        .expect("exchange succeeds");
+
+    println!("== {label} ==");
+    println!("physical target:");
+    print!("{}", result.target);
+
+    // What the *application* sees is identical across generations: the
+    // semantic schema.
+    let semantic = grom::engine::materialize_views(&scenario.target_views, &result.target)
+        .expect("views materialize");
+    println!("semantic schema (what clients query):");
+    print!("{semantic}");
+    println!(
+        "valid: {}\n",
+        result.validation.map(|v| v.ok).unwrap_or(false)
+    );
+}
+
+fn main() {
+    run_generation("generation 1 (wide customers table)", V1);
+    run_generation("generation 2 (split tables, renamed orders)", V2);
+    println!(
+        "the mapping text is byte-identical across generations; only the\n\
+         view definitions — the semantic schema's implementation — changed."
+    );
+}

@@ -1,0 +1,1 @@
+//! Umbrella package: integration tests and examples live here.

@@ -1,0 +1,236 @@
+//! Integration tests reproducing the paper's §2 running example artifacts
+//! verbatim: the views v1–v6, the mappings m0–m3, the key egd e0 and —
+//! crucially — the ded `d0` that GROM's rewriter derives from `e0`.
+
+use grom::prelude::*;
+use grom_bench::workloads::{running_example_scenario, RUNNING_EXAMPLE};
+
+fn scenario() -> MappingScenario {
+    running_example_scenario()
+}
+
+fn small_source() -> Instance {
+    let mut source = Instance::new();
+    for (id, name, store, rating) in [
+        (1, "tv", "acme", 5),
+        (2, "radio", "acme", 3),
+        (3, "fridge", "bestbuy", 1),
+    ] {
+        source
+            .add(
+                "S_Product",
+                vec![
+                    Value::int(id),
+                    Value::str(name),
+                    Value::str(store),
+                    Value::int(rating),
+                ],
+            )
+            .unwrap();
+    }
+    for (name, location) in [("acme", "rome"), ("bestbuy", "milan")] {
+        source
+            .add("S_Store", vec![Value::str(name), Value::str(location)])
+            .unwrap();
+    }
+    source
+}
+
+#[test]
+fn scenario_parses_and_splits_like_the_paper() {
+    let sc = scenario();
+    assert_eq!(sc.source_schema.len(), 2); // S-Product, S-Store
+    assert_eq!(sc.target_schema.len(), 3); // T-Product, T-Store, T-Rating
+    assert_eq!(sc.target_views.len(), 6); // v1..v6
+    assert_eq!(sc.mappings.len(), 4); // m0..m3
+    assert_eq!(sc.target_constraints.len(), 1); // e0
+}
+
+#[test]
+fn d0_is_generated_with_the_papers_exact_shape() {
+    let sc = scenario();
+    let out = sc.rewrite(&RewriteOptions::default()).unwrap();
+
+    // Exactly one ded in the rewritten program, derived from e0.
+    let deds: Vec<&Dependency> = out.deds().collect();
+    assert_eq!(deds.len(), 1);
+    let d0 = deds[0];
+    assert_eq!(out.provenance[&d0.name].as_ref(), "e0");
+
+    // d0: TProduct(pid1,name,store1), TProduct(pid2,name,store2)
+    //     -> (pid1 = pid2) | TRating(rid,pid1,'0') | TRating(rid,pid2,'0')
+    assert_eq!(d0.premise.len(), 2);
+    for lit in &d0.premise {
+        let a = lit.atom().expect("premise is relational");
+        assert_eq!(a.predicate.as_ref(), "T_Product");
+    }
+    // Shared name column: premise atoms agree on argument 1.
+    let names: Vec<&Term> = d0
+        .premise
+        .iter()
+        .map(|l| &l.atom().unwrap().args[1])
+        .collect();
+    assert_eq!(names[0], names[1]);
+
+    assert_eq!(d0.disjuncts.len(), 3);
+    assert_eq!(d0.disjuncts[0].eqs.len(), 1);
+    assert!(d0.disjuncts[0].atoms.is_empty());
+    for d in &d0.disjuncts[1..] {
+        assert_eq!(d.atoms.len(), 1);
+        let a = &d.atoms[0];
+        assert_eq!(a.predicate.as_ref(), "T_Rating");
+        assert_eq!(a.args[2], Term::cons(0i64));
+        // The rating id is existential (fresh variable, not in premise).
+        assert!(a.args[0].is_var());
+    }
+}
+
+#[test]
+fn end_to_end_classification_matches_ratings() {
+    let sc = scenario();
+    let res = sc.run(&small_source(), &PipelineOptions::default()).unwrap();
+    assert!(res.validation.as_ref().unwrap().ok);
+
+    let extents =
+        grom::engine::materialize_views(&sc.target_views, &res.target).unwrap();
+    let ids = |view: &str| -> Vec<i64> {
+        let mut v: Vec<i64> = extents
+            .tuples(view)
+            .filter_map(|t| t.get(0).unwrap().as_int())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    // Ratings 5 / 3 / 1 → popular / average / unpopular (paper thresholds).
+    assert_eq!(ids("PopularProduct"), vec![1]);
+    assert_eq!(ids("AvgProduct"), vec![2]);
+    assert_eq!(ids("UnpopularProduct"), vec![3]);
+    // Subclass semantics carried by the views: every classified product is
+    // a Product, without m0–m2 saying so explicitly.
+    assert_eq!(ids("Product"), vec![1, 2, 3]);
+}
+
+#[test]
+fn average_products_get_rating_witnesses() {
+    let sc = scenario();
+    let res = sc.run(&small_source(), &PipelineOptions::default()).unwrap();
+    // Product 2 (average) needs a thumbsUp=1 witness and — to not be
+    // popular — a thumbsUp=0 witness. Product 3 (unpopular) needs a 0.
+    let rating_of = |pid: i64, val: i64| {
+        res.target
+            .tuples("T_Rating")
+            .any(|t| t.get(1) == Some(&Value::int(pid)) && t.get(2) == Some(&Value::int(val)))
+    };
+    assert!(rating_of(2, 1), "average product needs a 1-rating witness");
+    assert!(rating_of(2, 0), "average product must not be popular");
+    assert!(rating_of(3, 0), "unpopular product needs a 0-rating witness");
+    // Popular product 1 must have no 0-rating (the m2 denial).
+    assert!(!rating_of(1, 0));
+}
+
+#[test]
+fn store_ids_are_invented_nulls_linking_products_to_stores() {
+    let sc = scenario();
+    let res = sc.run(&small_source(), &PipelineOptions::default()).unwrap();
+    // m3: SoldAt(pid, sid), Store(sid, store, location) — sid is invented.
+    let stores: Vec<&Tuple> = res.target.tuples("T_Store").collect();
+    assert!(!stores.is_empty());
+    for s in &stores {
+        assert!(s.get(0).unwrap().is_null(), "store id is a labeled null");
+        assert!(s.get(1).unwrap().as_str().is_some(), "store name is real data");
+    }
+}
+
+#[test]
+fn duplicate_popular_names_fail_as_the_paper_promises() {
+    // Two distinct products, same name, both rating 5: e0 is violated and
+    // no repair is allowed (they must stay popular), so the chase fails —
+    // GROM "says nothing about the cases in which Σ_ST ∪ Σ_T fail".
+    let sc = scenario();
+    let mut source = Instance::new();
+    for id in [1, 2] {
+        source
+            .add(
+                "S_Product",
+                vec![
+                    Value::int(id),
+                    Value::str("tv"),
+                    Value::str("acme"),
+                    Value::int(5),
+                ],
+            )
+            .unwrap();
+    }
+    source
+        .add("S_Store", vec![Value::str("acme"), Value::str("rome")])
+        .unwrap();
+    let res = sc.run(&source, &PipelineOptions::default());
+    assert!(matches!(res, Err(PipelineError::Chase(_))));
+}
+
+#[test]
+fn duplicate_names_with_low_ratings_succeed() {
+    // Same-name products are fine when they are *not* both popular: the
+    // 0-rating disjunct of d0 is satisfied by the witnesses m0 creates.
+    let sc = scenario();
+    let mut source = Instance::new();
+    for id in [1, 2] {
+        source
+            .add(
+                "S_Product",
+                vec![
+                    Value::int(id),
+                    Value::str("tv"),
+                    Value::str("acme"),
+                    Value::int(0),
+                ],
+            )
+            .unwrap();
+    }
+    source
+        .add("S_Store", vec![Value::str("acme"), Value::str("rome")])
+        .unwrap();
+    let res = sc.run(&source, &PipelineOptions::default()).unwrap();
+    assert!(res.validation.unwrap().ok);
+}
+
+#[test]
+fn rewritten_program_is_weakly_acyclic() {
+    let sc = scenario();
+    let res = sc.run(&small_source(), &PipelineOptions::default()).unwrap();
+    assert!(res.wa_report.weakly_acyclic, "{}", res.wa_report);
+}
+
+#[test]
+fn analyzer_flags_the_negation_views() {
+    let sc = scenario();
+    let deps: Vec<Dependency> = sc.all_dependencies().cloned().collect();
+    let (report, _) =
+        analyze(&sc.target_views, &deps, &RewriteOptions::default()).unwrap();
+    assert!(report.has_deds);
+    let flagged: Vec<&str> = report.problematic.iter().map(|p| p.view.as_ref()).collect();
+    assert!(flagged.contains(&"PopularProduct"), "{flagged:?}");
+    // Depth profile matches the paper's nesting.
+    let depth = |name: &str| {
+        report
+            .profiles
+            .iter()
+            .find(|p| p.name.as_ref() == name)
+            .unwrap()
+            .negation_depth
+    };
+    assert_eq!(depth("Product"), 0);
+    assert_eq!(depth("PopularProduct"), 1);
+    assert_eq!(depth("AvgProduct"), 2);
+    assert_eq!(depth("UnpopularProduct"), 3);
+}
+
+#[test]
+fn scenario_text_round_trips_through_display() {
+    let prog = Program::parse(RUNNING_EXAMPLE).unwrap();
+    let printed = prog.to_string();
+    let reparsed = Program::parse(&printed).unwrap();
+    assert_eq!(prog.views.rules().len(), reparsed.views.rules().len());
+    assert_eq!(prog.deps, reparsed.deps);
+}

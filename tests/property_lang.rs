@@ -1,0 +1,224 @@
+//! Property-based tests for the language layer: printer/parser round-trips
+//! on randomly generated ASTs, comparison-operator semantics, and the
+//! canonical invariants of substitutions.
+
+use proptest::prelude::*;
+
+use grom::lang::parser::{parse_dependency, parse_view_rule};
+use grom::lang::{Atom, CmpOp, Comparison, Dependency, Disjunct, Literal, Term, ViewRule};
+use grom::prelude::Value;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::int),
+        "[a-z]{1,6}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::bool),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop_oneof![Just("x"), Just("y"), Just("z"), Just("w")].prop_map(Term::var),
+        arb_value().prop_map(Term::Const),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        prop_oneof![Just("P"), Just("Q"), Just("R_rel"), Just("S0")],
+        prop::collection::vec(arb_term(), 1..4),
+    )
+        .prop_map(|(p, args)| Atom::new(p, args))
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Leq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Geq),
+    ]
+}
+
+fn arb_comparison() -> impl Strategy<Value = Comparison> {
+    (arb_cmp_op(), arb_term(), arb_term())
+        .prop_map(|(op, l, r)| Comparison::new(op, l, r))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        arb_atom().prop_map(Literal::Pos),
+        arb_atom().prop_map(Literal::Neg),
+        arb_comparison().prop_map(Literal::Cmp),
+    ]
+}
+
+fn arb_disjunct() -> impl Strategy<Value = Disjunct> {
+    (
+        prop::collection::vec(arb_atom(), 0..3),
+        prop::collection::vec((arb_term(), arb_term()), 0..2),
+        prop::collection::vec(
+            // Conclusion comparisons exclude Eq (the parser reads `=` in a
+            // disjunct as an equality, by design).
+            (
+                prop_oneof![
+                    Just(CmpOp::Neq),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Leq),
+                    Just(CmpOp::Gt),
+                    Just(CmpOp::Geq)
+                ],
+                arb_term(),
+                arb_term(),
+            )
+                .prop_map(|(op, l, r)| Comparison::new(op, l, r)),
+            0..2,
+        ),
+    )
+        .prop_filter("disjuncts must be non-empty", |(a, e, c)| {
+            !(a.is_empty() && e.is_empty() && c.is_empty())
+        })
+        .prop_map(|(atoms, eqs, cmps)| Disjunct { atoms, eqs, cmps })
+}
+
+fn arb_dependency() -> impl Strategy<Value = Dependency> {
+    (
+        prop::collection::vec(arb_literal(), 1..4),
+        prop::collection::vec(arb_disjunct(), 0..3),
+    )
+        .prop_map(|(premise, disjuncts)| Dependency::new("t", premise, disjuncts))
+}
+
+fn arb_view_rule() -> impl Strategy<Value = ViewRule> {
+    (arb_atom(), prop::collection::vec(arb_literal(), 1..4))
+        .prop_map(|(head, body)| ViewRule::new(head, body))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dependency_display_round_trips(dep in arb_dependency()) {
+        let printed = dep.to_string();
+        let reparsed = parse_dependency(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(dep, reparsed);
+    }
+
+    #[test]
+    fn view_rule_display_round_trips(rule in arb_view_rule()) {
+        let printed = rule.to_string();
+        let reparsed = parse_view_rule(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(rule, reparsed);
+    }
+
+    #[test]
+    fn cmp_negate_complements_on_comparable_values(
+        op in arb_cmp_op(),
+        a in arb_value(),
+        b in arb_value(),
+    ) {
+        // The complement law `¬(a op b) ≡ a op.negate() b` holds whenever
+        // the comparison is *defined*: always for Eq/Neq, and for order
+        // operators only between constants of the same type. Order
+        // comparisons involving nulls or mixed types are undefined (both
+        // the operator and its negation evaluate to false) — the sound
+        // "comparison atoms never match nulls" semantics.
+        let comparable = a.try_cmp(&b).is_some();
+        if comparable || matches!(op, CmpOp::Eq | CmpOp::Neq) {
+            prop_assert_eq!(op.eval(&a, &b), !op.negate().eval(&a, &b));
+        } else {
+            prop_assert!(!op.eval(&a, &b));
+            prop_assert!(!op.negate().eval(&a, &b));
+        }
+    }
+
+    #[test]
+    fn cmp_eq_is_reflexive_and_symmetric(a in arb_value(), b in arb_value()) {
+        prop_assert!(CmpOp::Eq.eval(&a, &a));
+        prop_assert_eq!(CmpOp::Eq.eval(&a, &b), CmpOp::Eq.eval(&b, &a));
+    }
+
+    #[test]
+    fn cmp_lt_is_a_strict_order_on_ints(a in -50i64..50, b in -50i64..50, c in -50i64..50) {
+        let (va, vb, vc) = (Value::int(a), Value::int(b), Value::int(c));
+        // irreflexive
+        prop_assert!(!CmpOp::Lt.eval(&va, &va));
+        // transitive
+        if CmpOp::Lt.eval(&va, &vb) && CmpOp::Lt.eval(&vb, &vc) {
+            prop_assert!(CmpOp::Lt.eval(&va, &vc));
+        }
+        // trichotomy
+        let holds = [
+            CmpOp::Lt.eval(&va, &vb),
+            CmpOp::Eq.eval(&va, &vb),
+            CmpOp::Gt.eval(&va, &vb),
+        ];
+        prop_assert_eq!(holds.iter().filter(|&&h| h).count(), 1);
+    }
+
+    #[test]
+    fn order_comparisons_never_hold_with_nulls(op in arb_cmp_op(), a in arb_value()) {
+        let null = Value::null(0);
+        if matches!(op, CmpOp::Lt | CmpOp::Leq | CmpOp::Gt | CmpOp::Geq) {
+            prop_assert!(!op.eval(&null, &a));
+            prop_assert!(!op.eval(&a, &null));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn null_map_resolution_is_idempotent(
+        merges in prop::collection::vec((0u64..8, 0u64..8), 0..12)
+    ) {
+        use grom::chase::NullMap;
+        let mut m = NullMap::new();
+        for (a, b) in merges {
+            // Null-null merges only: never a clash.
+            let _ = m.unify(&Value::null(a), &Value::null(b));
+        }
+        for id in 0..8u64 {
+            let once = m.resolve(&Value::null(id));
+            let twice = m.resolve(&once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn null_map_unification_respects_constants(
+        pairs in prop::collection::vec((0u64..6, -3i64..3), 1..8)
+    ) {
+        use grom::chase::NullMap;
+        let mut m = NullMap::new();
+        let mut assigned: std::collections::HashMap<u64, i64> = Default::default();
+        for (label, value) in pairs {
+            let root_before = m.resolve(&Value::null(label));
+            let outcome = m.unify(&Value::null(label), &Value::int(value));
+            match root_before {
+                Value::Int(prev) => {
+                    // Already a constant: merging with a different one
+                    // must clash, with the same one must be a no-op.
+                    use grom::chase::nullmap::Unify;
+                    if prev == value {
+                        prop_assert_eq!(outcome, Unify::Noop);
+                    } else {
+                        prop_assert!(matches!(outcome, Unify::Clash(..)));
+                    }
+                }
+                _ => {
+                    assigned.insert(label, value);
+                }
+            }
+        }
+        // Every successfully assigned label resolves to a constant.
+        for (label, _) in assigned {
+            prop_assert!(m.resolve(&Value::null(label)).is_constant());
+        }
+    }
+}

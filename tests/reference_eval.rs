@@ -1,0 +1,213 @@
+//! Differential testing of the evaluation engine against a brute-force
+//! reference implementation.
+//!
+//! The engine (`grom-engine`) uses greedy join ordering, per-column index
+//! probes and early filter placement; the reference below enumerates *all*
+//! assignments of body variables over the active domain and checks every
+//! literal naively. On random bodies and instances the two must agree
+//! exactly — this is the test that keeps the join planner honest.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use grom::engine::evaluate_body;
+use grom::lang::ast::body_variables;
+use grom::lang::{Atom, Bindings, CmpOp, Comparison, Literal, Term, Var};
+use grom::prelude::{Instance, Value};
+
+const RELS: [&str; 3] = ["R0", "R1", "R2"];
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// Brute-force: the active domain of the instance.
+fn active_domain(inst: &Instance) -> Vec<Value> {
+    let mut dom = BTreeSet::new();
+    for fact in inst.facts() {
+        for v in fact.tuple.values() {
+            dom.insert(v.clone());
+        }
+    }
+    dom.into_iter().collect()
+}
+
+/// Brute-force evaluation: try every assignment of the body's *bindable*
+/// variables (those in positive atoms) over the active domain.
+fn reference_eval(inst: &Instance, body: &[Literal]) -> BTreeSet<Vec<(Var, Value)>> {
+    // Bindable variables, in deterministic order.
+    let mut bindable: Vec<Var> = Vec::new();
+    for lit in body {
+        if let Literal::Pos(a) = lit {
+            for v in a.variables() {
+                if !bindable.contains(&v) {
+                    bindable.push(v);
+                }
+            }
+        }
+    }
+    let dom = active_domain(inst);
+    let mut out = BTreeSet::new();
+    let n = bindable.len();
+    let total = dom.len().checked_pow(n as u32).unwrap_or(0);
+    for mut code in 0..total {
+        let mut bindings = Bindings::new();
+        for v in &bindable {
+            bindings.bind(v.clone(), dom[code % dom.len()].clone());
+            code /= dom.len();
+        }
+        if holds(inst, body, &bindings) {
+            out.insert(
+                bindable
+                    .iter()
+                    .map(|v| (v.clone(), bindings.get(v).unwrap().clone()))
+                    .collect(),
+            );
+        }
+    }
+    // Degenerate case: no bindable variables at all.
+    if n == 0 {
+        let bindings = Bindings::new();
+        if holds(inst, body, &bindings) {
+            out.insert(Vec::new());
+        }
+    }
+    out
+}
+
+/// Naive literal-by-literal check under total bindings.
+fn holds(inst: &Instance, body: &[Literal], bindings: &Bindings) -> bool {
+    for lit in body {
+        match lit {
+            Literal::Pos(a) => {
+                let pattern = bindings.atom_pattern(a);
+                // All variables bound: pattern is fully concrete except
+                // when an atom has a variable not in any positive atom —
+                // impossible since this *is* a positive atom.
+                let found = inst
+                    .relation(&a.predicate)
+                    .is_some_and(|r| r.any_match(&pattern));
+                if !found {
+                    return false;
+                }
+            }
+            Literal::Neg(a) => {
+                // Unbound (negation-local) variables stay None: wildcard.
+                let pattern = bindings.atom_pattern(a);
+                let found = inst
+                    .relation(&a.predicate)
+                    .is_some_and(|r| r.any_match(&pattern));
+                if found {
+                    return false;
+                }
+            }
+            Literal::Cmp(c) => {
+                if !bindings.eval_comparison(c).unwrap_or(false) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (0usize..3, 0usize..4, 0usize..4).prop_map(|(r, a, b)| {
+        Atom::new(RELS[r], vec![Term::var(VARS[a]), Term::var(VARS[b])])
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        4 => arb_atom().prop_map(Literal::Pos),
+        2 => arb_atom().prop_map(Literal::Neg),
+        1 => (0usize..4, -1i64..3).prop_map(|(v, c)| {
+            Literal::Cmp(Comparison::new(CmpOp::Leq, Term::var(VARS[v]), Term::cons(c)))
+        }),
+        1 => (0usize..4, 0usize..4).prop_map(|(a, b)| {
+            Literal::Cmp(Comparison::new(CmpOp::Neq, Term::var(VARS[a]), Term::var(VARS[b])))
+        }),
+    ]
+}
+
+/// Bodies whose comparisons/negations only use bindable variables (safety)
+/// — except negation-local variables, which are allowed.
+fn safe(body: &[Literal]) -> bool {
+    let bindable: BTreeSet<Var> = body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Pos(a) => Some(a.variables()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    body.iter().all(|l| match l {
+        Literal::Cmp(c) => c.variables().iter().all(|v| bindable.contains(v)),
+        _ => true,
+    }) && body.iter().any(|l| matches!(l, Literal::Pos(_)))
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0usize..3, 0i64..3, 0i64..3), 0..7).prop_map(|facts| {
+        let mut inst = Instance::new();
+        for (r, a, b) in facts {
+            inst.add(RELS[r], vec![Value::int(a), Value::int(b)]).unwrap();
+        }
+        inst
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_matches_brute_force_reference(
+        body in prop::collection::vec(arb_literal(), 1..4).prop_filter("safe", |b| safe(b)),
+        inst in arb_instance(),
+    ) {
+        let engine: BTreeSet<Vec<(Var, Value)>> = evaluate_body(&inst, &body, &Bindings::new())
+            .into_iter()
+            .map(|b| {
+                // Project onto the bindable variables in the same order the
+                // reference uses.
+                let mut bindable: Vec<Var> = Vec::new();
+                for lit in &body {
+                    if let Literal::Pos(a) = lit {
+                        for v in a.variables() {
+                            if !bindable.contains(&v) {
+                                bindable.push(v);
+                            }
+                        }
+                    }
+                }
+                bindable
+                    .iter()
+                    .map(|v| (v.clone(), b.get(v).unwrap().clone()))
+                    .collect()
+            })
+            .collect();
+        let reference = reference_eval(&inst, &body);
+        prop_assert_eq!(
+            &engine, &reference,
+            "engine and reference disagree\nbody: {:?}\ninstance:\n{}",
+            body, inst
+        );
+    }
+
+    #[test]
+    fn engine_solution_count_is_duplicate_free(
+        body in prop::collection::vec(arb_literal(), 1..4).prop_filter("safe", |b| safe(b)),
+        inst in arb_instance(),
+    ) {
+        // evaluate_body may emit the same full binding at most once per
+        // *distinct* combination of matched tuples; after projection onto
+        // bindable variables, solutions must match the set semantics of the
+        // reference (checked above) — here we check the weaker invariant
+        // that full bindings are pairwise distinct.
+        let sols = evaluate_body(&inst, &body, &Bindings::new());
+        let vars = body_variables(&body);
+        let mut seen = BTreeSet::new();
+        for s in &sols {
+            let key: Vec<Option<Value>> = vars.iter().map(|v| s.get(v).cloned()).collect();
+            prop_assert!(seen.insert(key), "duplicate solution emitted");
+        }
+    }
+}
