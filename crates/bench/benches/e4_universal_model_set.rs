@@ -22,9 +22,8 @@ fn bench(c: &mut Criterion) {
             &(deps.clone(), inst.clone()),
             |b, (deps, inst)| {
                 b.iter(|| {
-                    let res =
-                        chase_exhaustive(inst.clone(), deps, &ChaseConfig::default())
-                            .expect("exhaustive succeeds");
+                    let res = chase_exhaustive(inst.clone(), deps, &ChaseConfig::default())
+                        .expect("exhaustive succeeds");
                     assert_eq!(res.solutions.len(), 1 << k);
                     res.solutions.len()
                 })

@@ -48,7 +48,10 @@ fn bench(c: &mut Criterion) {
             &(sc, source),
             |b, (sc, source)| {
                 b.iter(|| {
-                    sc.run(source, &opts).expect("pipeline succeeds").target.len()
+                    sc.run(source, &opts)
+                        .expect("pipeline succeeds")
+                        .target
+                        .len()
                 })
             },
         );

@@ -26,7 +26,13 @@ fn ms(d: std::time::Duration) -> String {
 fn e1() -> Table {
     let mut t = Table::new(
         "E1: running example end-to-end (rewrite + chase + validate)",
-        &["|I_S| products", "target tuples", "scenarios", "valid", "total ms"],
+        &[
+            "|I_S| products",
+            "target tuples",
+            "scenarios",
+            "valid",
+            "total ms",
+        ],
     );
     let sc = running_example_scenario();
     for &n in &[100usize, 1_000, 10_000] {
@@ -37,7 +43,9 @@ fn e1() -> Table {
             seed: 42,
         });
         let t0 = Instant::now();
-        let res = sc.run(&src, &PipelineOptions::default()).expect("pipeline succeeds");
+        let res = sc
+            .run(&src, &PipelineOptions::default())
+            .expect("pipeline succeeds");
         let elapsed = t0.elapsed();
         t.row(vec![
             n.to_string(),
@@ -86,7 +94,12 @@ fn e3() -> Table {
         let out = grom::rewrite::rewrite_program(&views, &deps, &RewriteOptions::default())
             .expect("rewrite succeeds");
         let elapsed = t0.elapsed();
-        let max_disj = out.deps.iter().map(|d| d.disjuncts.len()).max().unwrap_or(0);
+        let max_disj = out
+            .deps
+            .iter()
+            .map(|d| d.disjuncts.len())
+            .max()
+            .unwrap_or(0);
         t.row(vec![
             n.to_string(),
             k.to_string(),
@@ -102,7 +115,14 @@ fn e3() -> Table {
 fn e4() -> Table {
     let mut t = Table::new(
         "E4: exhaustive vs greedy ded chase (universal model set blow-up)",
-        &["k violations", "exhaustive leaves", "nodes", "exhaustive ms", "greedy scenarios", "greedy ms"],
+        &[
+            "k violations",
+            "exhaustive leaves",
+            "nodes",
+            "exhaustive ms",
+            "greedy scenarios",
+            "greedy ms",
+        ],
     );
     for &k in &[2usize, 4, 6, 8, 10, 12] {
         let (deps, inst) = universal_model_workload(k);
@@ -156,7 +176,13 @@ fn e5() -> Table {
 fn e5b() -> Table {
     let mut t = Table::new(
         "E5b (ablation): plain greedy vs backjumping scenario search",
-        &["denied frac", "plain scenarios", "backjump scenarios", "plain ms", "backjump ms"],
+        &[
+            "denied frac",
+            "plain scenarios",
+            "backjump scenarios",
+            "plain ms",
+            "backjump ms",
+        ],
     );
     for &frac in &[0.0, 0.2, 0.5, 0.8] {
         let (deps, inst) = greedy_intricacy_attributable(10, frac, 3);
@@ -165,9 +191,8 @@ fn e5b() -> Table {
             .expect("plain greedy succeeds");
         let plain_ms = t0.elapsed();
         let t1 = Instant::now();
-        let jump =
-            grom::chase::chase_greedy_backjump(inst, &deps, &ChaseConfig::default())
-                .expect("backjump greedy succeeds");
+        let jump = grom::chase::chase_greedy_backjump(inst, &deps, &ChaseConfig::default())
+            .expect("backjump greedy succeeds");
         let jump_ms = t1.elapsed();
         t.row(vec![
             format!("{frac:.1}"),
@@ -184,7 +209,13 @@ fn e5b() -> Table {
 fn e6() -> Table {
     let mut t = Table::new(
         "E6: syntactic restrictions — perverse vs reformulated views",
-        &["scenario", "deds", "problematic views", "rewrite ms", "chase ms (1k products)"],
+        &[
+            "scenario",
+            "deds",
+            "problematic views",
+            "rewrite ms",
+            "chase ms (1k products)",
+        ],
     );
     let (perverse, reformulated) = restriction_pair();
     for (name, sc) in [("perverse", &perverse), ("reformulated", &reformulated)] {
@@ -223,7 +254,13 @@ fn e6() -> Table {
 fn e7() -> Table {
     let mut t = Table::new(
         "E7: chase scalability (running example, greedy strategy)",
-        &["|I_S| products", "target tuples", "chase rounds", "ms", "tuples/s"],
+        &[
+            "|I_S| products",
+            "target tuples",
+            "chase rounds",
+            "ms",
+            "tuples/s",
+        ],
     );
     let sc = running_example_scenario();
     for &n in &[1_000usize, 5_000, 20_000, 50_000] {

@@ -14,7 +14,7 @@ pub mod workloads;
 
 pub use report::Table;
 pub use workloads::{
-    conjunctive_family, greedy_intricacy_attributable, greedy_intricacy_workload,
-    negation_family, restriction_pair, running_example_scenario, running_example_source,
-    universal_model_workload, RunningExampleConfig,
+    conjunctive_family, greedy_intricacy_attributable, greedy_intricacy_workload, negation_family,
+    restriction_pair, running_example_scenario, running_example_source, universal_model_workload,
+    RunningExampleConfig,
 };

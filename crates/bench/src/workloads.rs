@@ -116,9 +116,7 @@ pub fn conjunctive_family(n_views: usize, body_size: usize) -> (ViewSet, Vec<Dep
         }
         text.push_str(".\n");
         text.push_str(&format!("tgd m{i}: Src{i}(a, b) -> V{i}(a, b).\n"));
-        text.push_str(&format!(
-            "egd e{i}: V{i}(a1, b), V{i}(a2, b) -> a1 = a2.\n"
-        ));
+        text.push_str(&format!("egd e{i}: V{i}(a1, b), V{i}(a2, b) -> a1 = a2.\n"));
     }
     let prog = Program::parse(&text).expect("generated conjunctive family parses");
     (prog.views, prog.deps)
@@ -128,10 +126,7 @@ pub fn conjunctive_family(n_views: usize, body_size: usize) -> (ViewSet, Vec<Dep
 /// egd per view. Every negated atom in the view body surfaces as ded
 /// disjuncts when the egd premise is unfolded (the `d0` pattern of the
 /// paper, parameterized).
-pub fn negation_family(
-    n_views: usize,
-    negated_per_view: usize,
-) -> (ViewSet, Vec<Dependency>) {
+pub fn negation_family(n_views: usize, negated_per_view: usize) -> (ViewSet, Vec<Dependency>) {
     let mut text = String::new();
     for i in 0..n_views {
         text.push_str(&format!("view W{i}(x, n) <- Base{i}(x, n)"));
@@ -140,9 +135,7 @@ pub fn negation_family(
         }
         text.push_str(".\n");
         text.push_str(&format!("tgd m{i}: Src{i}(a, b) -> W{i}(a, b).\n"));
-        text.push_str(&format!(
-            "egd e{i}: W{i}(a1, n), W{i}(a2, n) -> a1 = a2.\n"
-        ));
+        text.push_str(&format!("egd e{i}: W{i}(a1, n), W{i}(a2, n) -> a1 = a2.\n"));
     }
     let prog = Program::parse(&text).expect("generated negation family parses");
     (prog.views, prog.deps)
@@ -183,7 +176,8 @@ pub fn greedy_intricacy_workload(
     let prog = Program::parse(&text).expect("generated intricacy workload parses");
     let mut inst = Instance::new();
     for i in 0..k_deds {
-        inst.add(format!("P{i}"), vec![Value::int(1)]).expect("fresh");
+        inst.add(format!("P{i}"), vec![Value::int(1)])
+            .expect("fresh");
     }
     (prog.deps, inst)
 }
@@ -310,8 +304,8 @@ mod tests {
     #[test]
     fn universal_model_counts() {
         let (deps, inst) = universal_model_workload(5);
-        let ex = grom::chase::chase_exhaustive(inst.clone(), &deps, &ChaseConfig::default())
-            .unwrap();
+        let ex =
+            grom::chase::chase_exhaustive(inst.clone(), &deps, &ChaseConfig::default()).unwrap();
         assert_eq!(ex.solutions.len(), 32);
         let gr = grom::chase::chase_greedy(inst, &deps, &ChaseConfig::default()).unwrap();
         assert_eq!(gr.stats.scenarios_tried, 1);
@@ -335,8 +329,8 @@ mod tests {
     #[test]
     fn attributable_workload_separates_strategies() {
         let (deps, inst) = greedy_intricacy_attributable(8, 0.5, 3);
-        let plain = grom::chase::chase_greedy(inst.clone(), &deps, &ChaseConfig::default())
-            .unwrap();
+        let plain =
+            grom::chase::chase_greedy(inst.clone(), &deps, &ChaseConfig::default()).unwrap();
         let jump =
             grom::chase::chase_greedy_backjump(inst, &deps, &ChaseConfig::default()).unwrap();
         // Backjumping is linear in the number of denied branches; the

@@ -247,8 +247,10 @@ mod tests {
         // The m3 pattern from the running example: TP(1, N0, N1) maps onto
         // TP(1, "tv", N2) via the simultaneous fold {N0 → "tv", N1 → N2}.
         let mut inst = Instance::new();
-        inst.add("TP", vec![v(1), Value::null(0), Value::null(1)]).unwrap();
-        inst.add("TP", vec![v(1), Value::str("tv"), Value::null(2)]).unwrap();
+        inst.add("TP", vec![v(1), Value::null(0), Value::null(1)])
+            .unwrap();
+        inst.add("TP", vec![v(1), Value::str("tv"), Value::null(2)])
+            .unwrap();
         let stats = core_minimize(&mut inst);
         assert_eq!(stats.nulls_folded, 2);
         assert_eq!(inst.len(), 1);

@@ -36,8 +36,7 @@ pub struct ExhaustiveResult {
 
 /// Split a dependency set into standard dependencies and deds.
 fn split(deps: &[Dependency]) -> (Vec<Dependency>, Vec<Dependency>) {
-    let (deds, standard): (Vec<_>, Vec<_>) =
-        deps.iter().cloned().partition(Dependency::is_ded);
+    let (deds, standard): (Vec<_>, Vec<_>) = deps.iter().cloned().partition(Dependency::is_ded);
     (standard, deds)
 }
 
@@ -308,9 +307,8 @@ pub fn chase_exhaustive(
                 let dep = &deds[k];
                 for i in 0..dep.disjuncts.len() {
                     let mut child = inst.clone();
-                    let mut nullgen = NullGenerator::starting_at(
-                        child.max_null_label().map_or(0, |l| l + 1),
-                    );
+                    let mut nullgen =
+                        NullGenerator::starting_at(child.max_null_label().map_or(0, |l| l + 1));
                     let mut nullmap = NullMap::new();
                     match apply_disjunct(
                         &mut child,
@@ -365,7 +363,8 @@ mod tests {
     }
 
     fn all_hold(inst: &Instance, deps: &[Dependency]) -> bool {
-        deps.iter().all(|d| grom_engine::dependency_satisfied(inst, d))
+        deps.iter()
+            .all(|d| grom_engine::dependency_satisfied(inst, d))
     }
 
     #[test]
@@ -379,7 +378,12 @@ mod tests {
     #[test]
     fn greedy_solves_simple_ded() {
         let d = parse_dependency("ded d: P(x) -> Q(x) | R(x).").unwrap();
-        let res = chase_greedy(inst(&[("P", &[1]), ("P", &[2])]), std::slice::from_ref(&d), &cfg()).unwrap();
+        let res = chase_greedy(
+            inst(&[("P", &[1]), ("P", &[2])]),
+            std::slice::from_ref(&d),
+            &cfg(),
+        )
+        .unwrap();
         assert_eq!(res.stats.scenarios_tried, 1);
         assert!(all_hold(&res.instance, &[d]));
         // All matches committed to the same disjunct.
@@ -390,10 +394,8 @@ mod tests {
     #[test]
     fn greedy_prefers_equality_disjuncts() {
         // d0-like: merge ids rather than inventing rating tuples.
-        let d = parse_dependency(
-            "ded d: P(p1, n), P(p2, n) -> R(r, p1) | p1 = p2 | R(r2, p2).",
-        )
-        .unwrap();
+        let d = parse_dependency("ded d: P(p1, n), P(p2, n) -> R(r, p1) | p1 = p2 | R(r2, p2).")
+            .unwrap();
         // Single product: equality disjunct trivially satisfiable.
         let res = chase_greedy(inst(&[("P", &[1, 7])]), std::slice::from_ref(&d), &cfg()).unwrap();
         assert_eq!(res.stats.scenarios_tried, 1);
@@ -428,7 +430,10 @@ mod tests {
         )
         .unwrap();
         let res = chase_greedy(inst(&[("P", &[1])]), &p.deps, &cfg());
-        assert!(matches!(res, Err(ChaseError::GreedyExhausted { scenarios_tried: 2 })));
+        assert!(matches!(
+            res,
+            Err(ChaseError::GreedyExhausted { scenarios_tried: 2 })
+        ));
     }
 
     #[test]
@@ -445,7 +450,10 @@ mod tests {
             &p.deps,
             &ChaseConfig::default().with_max_scenarios(2),
         );
-        assert!(matches!(res, Err(ChaseError::GreedyExhausted { scenarios_tried: 2 })));
+        assert!(matches!(
+            res,
+            Err(ChaseError::GreedyExhausted { scenarios_tried: 2 })
+        ));
     }
 
     #[test]
@@ -453,8 +461,7 @@ mod tests {
         // k independent violations of a 2-disjunct ded: 2^k leaves.
         let d = parse_dependency("ded d: P(x) -> Q(x) | R(x).").unwrap();
         for k in 1..=4 {
-            let facts: Vec<(&str, Vec<i64>)> =
-                (0..k).map(|i| ("P", vec![i as i64])).collect();
+            let facts: Vec<(&str, Vec<i64>)> = (0..k).map(|i| ("P", vec![i as i64])).collect();
             let mut start = Instance::new();
             for (rel, vals) in &facts {
                 start
@@ -486,7 +493,12 @@ mod tests {
         assert!(ex.solutions.len() >= 2);
         for sol in &ex.solutions {
             assert!(all_hold(sol, &p.deps));
-            assert_eq!(sol.tuples("Q").filter(|t| t.get(0) == Some(&Value::int(1))).count(), 0);
+            assert_eq!(
+                sol.tuples("Q")
+                    .filter(|t| t.get(0) == Some(&Value::int(1)))
+                    .count(),
+                0
+            );
         }
         // Greedy also succeeds (scenario R for all).
         let gr = chase_greedy(start, &p.deps, &cfg()).unwrap();
@@ -519,10 +531,7 @@ mod tests {
 
     #[test]
     fn greedy_success_implies_exhaustive_has_solutions() {
-        let d = parse_dependency(
-            "ded d: P(p1, n), P(p2, n) -> p1 = p2 | R(p1) | R(p2).",
-        )
-        .unwrap();
+        let d = parse_dependency("ded d: P(p1, n), P(p2, n) -> p1 = p2 | R(p1) | R(p2).").unwrap();
         let start = inst(&[("P", &[1, 7]), ("P", &[2, 7]), ("P", &[3, 8])]);
         let greedy = chase_greedy(start.clone(), std::slice::from_ref(&d), &cfg()).unwrap();
         assert!(all_hold(&greedy.instance, std::slice::from_ref(&d)));

@@ -140,15 +140,13 @@ pub(crate) fn apply_disjunct(
     Ok(merged)
 }
 
-fn eval_bound_term(
-    t: &Term,
-    bindings: &Bindings,
-    dep: &Dependency,
-) -> Result<Value, ChaseError> {
-    bindings.eval_term(t).ok_or_else(|| ChaseError::NotExecutable {
-        dependency: dep.name.clone(),
-        reason: format!("equality term `{t}` is not bound by the premise"),
-    })
+fn eval_bound_term(t: &Term, bindings: &Bindings, dep: &Dependency) -> Result<Value, ChaseError> {
+    bindings
+        .eval_term(t)
+        .ok_or_else(|| ChaseError::NotExecutable {
+            dependency: dep.name.clone(),
+            reason: format!("equality term `{t}` is not bound by the premise"),
+        })
 }
 
 /// Run the standard chase over `start` with `deps`.
@@ -167,8 +165,7 @@ pub fn chase_standard(
 
     let mut inst = start;
     let mut stats = ChaseStats::default();
-    let mut nullgen =
-        NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
+    let mut nullgen = NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
     let mut nullmap = NullMap::new();
 
     loop {
@@ -207,8 +204,15 @@ pub fn chase_standard(
                 if disjunct_satisfied(&inst, &dep.disjuncts[0], &b) {
                     continue;
                 }
-                let merged =
-                    apply_disjunct(&mut inst, dep, 0, &b, &mut nullmap, &mut nullgen, &mut stats)?;
+                let merged = apply_disjunct(
+                    &mut inst,
+                    dep,
+                    0,
+                    &b,
+                    &mut nullmap,
+                    &mut nullgen,
+                    &mut stats,
+                )?;
                 any_merge |= merged;
                 progressed = true;
             }
@@ -256,10 +260,18 @@ mod tests {
     #[test]
     fn copy_tgd() {
         let dep = parse_dependency("tgd m: S(x, y) -> T(x, y).").unwrap();
-        let res = chase_standard(inst(&[("S", &[1, 2]), ("S", &[3, 4])]), std::slice::from_ref(&dep), &cfg())
-            .unwrap();
-        assert!(res.instance.contains_fact("T", &Tuple::new(vec![Value::int(1), Value::int(2)])));
-        assert!(res.instance.contains_fact("T", &Tuple::new(vec![Value::int(3), Value::int(4)])));
+        let res = chase_standard(
+            inst(&[("S", &[1, 2]), ("S", &[3, 4])]),
+            std::slice::from_ref(&dep),
+            &cfg(),
+        )
+        .unwrap();
+        assert!(res
+            .instance
+            .contains_fact("T", &Tuple::new(vec![Value::int(1), Value::int(2)])));
+        assert!(res
+            .instance
+            .contains_fact("T", &Tuple::new(vec![Value::int(3), Value::int(4)])));
         assert!(all_satisfied(&res.instance, &[dep]));
         assert_eq!(res.stats.tuples_inserted, 2);
         assert_eq!(res.stats.nulls_invented, 0);
@@ -302,7 +314,11 @@ mod tests {
         let start = inst(&[("S", &[1]), ("S2", &[1, 42])]);
         let res = chase_standard(start, &[m.clone(), k.clone(), e.clone()], &cfg()).unwrap();
         let t: Vec<_> = res.instance.tuples("T").collect();
-        assert_eq!(t.len(), 1, "null tuple must merge with constant tuple: {t:?}");
+        assert_eq!(
+            t.len(),
+            1,
+            "null tuple must merge with constant tuple: {t:?}"
+        );
         assert_eq!(t[0].get(1), Some(&Value::int(42)));
         assert!(res.stats.egd_merges >= 1);
         assert!(all_satisfied(&res.instance, &[m, k, e]));
@@ -325,8 +341,7 @@ mod tests {
         let m1 = parse_dependency("tgd a: S(x) -> T(x, y).").unwrap();
         let m2 = parse_dependency("tgd b: S(x) -> U(x, y).").unwrap();
         let e = parse_dependency("egd e: T(x, y1), U(x, y2) -> y1 = y2.").unwrap();
-        let res =
-            chase_standard(inst(&[("S", &[1])]), &[m1, m2, e.clone()], &cfg()).unwrap();
+        let res = chase_standard(inst(&[("S", &[1])]), &[m1, m2, e.clone()], &cfg()).unwrap();
         let t: Vec<_> = res.instance.tuples("T").collect();
         let u: Vec<_> = res.instance.tuples("U").collect();
         assert_eq!(t[0].get(1), u[0].get(1));
@@ -413,7 +428,8 @@ mod tests {
     fn mixed_disjunct_applies_atoms_and_equalities() {
         let dep = parse_dependency("dep d: S(x, y) -> T(x, z), x = y.").unwrap();
         // x = y holds only when the S tuple is diagonal; otherwise clash.
-        let res = chase_standard(inst(&[("S", &[1, 1])]), std::slice::from_ref(&dep), &cfg()).unwrap();
+        let res =
+            chase_standard(inst(&[("S", &[1, 1])]), std::slice::from_ref(&dep), &cfg()).unwrap();
         assert_eq!(res.instance.tuples("T").count(), 1);
         let res = chase_standard(inst(&[("S", &[1, 2])]), &[dep], &cfg());
         assert!(matches!(res, Err(ChaseError::Failure { .. })));
@@ -437,7 +453,9 @@ mod tests {
         )
         .unwrap();
         let res = chase_standard(inst(&[("S", &[7])]), &p.deps, &cfg()).unwrap();
-        assert!(res.instance.contains_fact("C", &Tuple::new(vec![Value::int(7)])));
+        assert!(res
+            .instance
+            .contains_fact("C", &Tuple::new(vec![Value::int(7)])));
         // Cascade completes within few rounds.
         assert!(res.stats.rounds <= 4, "rounds = {}", res.stats.rounds);
     }

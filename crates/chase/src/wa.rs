@@ -63,7 +63,9 @@ fn premise_positions(dep: &Dependency) -> BTreeMap<Var, Vec<Position>> {
         if let Literal::Pos(a) = lit {
             for (i, t) in a.args.iter().enumerate() {
                 if let Term::Var(v) = t {
-                    out.entry(v.clone()).or_default().push((a.predicate.clone(), i));
+                    out.entry(v.clone())
+                        .or_default()
+                        .push((a.predicate.clone(), i));
                 }
             }
         }
@@ -92,8 +94,7 @@ pub fn is_weakly_acyclic(deps: &[Dependency]) -> WeakAcyclicityReport {
                     }
                 }
             }
-            let existential: Vec<&Var> =
-                concl.keys().filter(|v| !universal.contains(*v)).collect();
+            let existential: Vec<&Var> = concl.keys().filter(|v| !universal.contains(*v)).collect();
             for (x, x_concl) in &concl {
                 if !universal.contains(x) {
                     continue;

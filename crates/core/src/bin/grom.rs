@@ -33,8 +33,7 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
 }
 
 fn load_program(path: &str) -> Result<Program, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     Program::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -46,14 +45,12 @@ fn load_scenario(path: &str) -> Result<(MappingScenario, Instance), String> {
             .insert_fact(f.clone())
             .map_err(|e| format!("{path}: inline facts: {e}"))?;
     }
-    let scenario =
-        MappingScenario::from_program(&program).map_err(|e| format!("{path}: {e}"))?;
+    let scenario = MappingScenario::from_program(&program).map_err(|e| format!("{path}: {e}"))?;
     Ok((scenario, inline))
 }
 
 fn load_facts(path: &str) -> Result<Instance, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     grom::data::read_instance(&text).map_err(|e| format!("{path}: {e}"))
 }
 

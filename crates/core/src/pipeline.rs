@@ -3,9 +3,7 @@
 
 use std::fmt;
 
-use grom_chase::{
-    chase_with_deds, ChaseConfig, ChaseError, ChaseStats, WeakAcyclicityReport,
-};
+use grom_chase::{chase_with_deds, ChaseConfig, ChaseError, ChaseStats, WeakAcyclicityReport};
 use grom_data::{DataError, Instance};
 use grom_engine::MaterializeError;
 use grom_lang::{Dependency, LangError};
@@ -136,8 +134,7 @@ impl MappingScenario {
 
         // 1. Materialize the source semantic schema (if any) and extend the
         //    working database with its extents.
-        let source_view_extents =
-            grom_engine::materialize_views(&self.source_views, source)?;
+        let source_view_extents = grom_engine::materialize_views(&self.source_views, source)?;
         let mut working = source.clone();
         working.absorb(&source_view_extents)?;
 
@@ -239,7 +236,9 @@ mod tests {
     #[test]
     fn paper_running_example_end_to_end() {
         let sc = paper_scenario();
-        let res = sc.run(&paper_source(), &PipelineOptions::default()).unwrap();
+        let res = sc
+            .run(&paper_source(), &PipelineOptions::default())
+            .unwrap();
 
         // Every product id lands in T_Product. (The universal solution may
         // contain extra tuples with labeled nulls — e.g. the SoldAt
@@ -270,11 +269,12 @@ mod tests {
     #[test]
     fn classification_respects_view_semantics() {
         let sc = paper_scenario();
-        let res = sc.run(&paper_source(), &PipelineOptions::default()).unwrap();
+        let res = sc
+            .run(&paper_source(), &PipelineOptions::default())
+            .unwrap();
         // Materialize the target views over J_T and check the product
         // classification matches the source ratings.
-        let extents =
-            grom_engine::materialize_views(&sc.target_views, &res.target).unwrap();
+        let extents = grom_engine::materialize_views(&sc.target_views, &res.target).unwrap();
         let ids = |view: &str| -> Vec<i64> {
             let mut v: Vec<i64> = extents
                 .tuples(view)
@@ -367,7 +367,9 @@ mod tests {
     #[test]
     fn empty_source_gives_empty_target() {
         let sc = paper_scenario();
-        let res = sc.run(&Instance::new(), &PipelineOptions::default()).unwrap();
+        let res = sc
+            .run(&Instance::new(), &PipelineOptions::default())
+            .unwrap();
         assert!(res.target.is_empty());
         assert!(res.validation.unwrap().ok);
     }
@@ -404,7 +406,9 @@ mod tests {
         let sc = MappingScenario::from_program(&prog).unwrap();
         let mut source = Instance::new();
         source.add("S", vec![Value::int(1)]).unwrap();
-        source.add("S2", vec![Value::int(1), Value::int(5)]).unwrap();
+        source
+            .add("S2", vec![Value::int(1), Value::int(5)])
+            .unwrap();
 
         let plain = sc.run(&source, &PipelineOptions::default()).unwrap();
         assert_eq!(plain.target.tuples("T").count(), 2);
@@ -440,7 +444,9 @@ mod tests {
     #[test]
     fn wa_report_present() {
         let sc = paper_scenario();
-        let res = sc.run(&paper_source(), &PipelineOptions::default()).unwrap();
+        let res = sc
+            .run(&paper_source(), &PipelineOptions::default())
+            .unwrap();
         assert!(res.wa_report.weakly_acyclic, "{}", res.wa_report);
     }
 }

@@ -64,8 +64,14 @@ impl MappingScenario {
         for rule in program.views.rules() {
             scenario.classify_and_add_rule(rule.clone(), &program.views)?;
         }
-        scenario.source_views.validate().map_err(PipelineError::Lang)?;
-        scenario.target_views.validate().map_err(PipelineError::Lang)?;
+        scenario
+            .source_views
+            .validate()
+            .map_err(PipelineError::Lang)?;
+        scenario
+            .target_views
+            .validate()
+            .map_err(PipelineError::Lang)?;
 
         for dep in &program.deps {
             match scenario.dependency_side(dep)? {
@@ -143,7 +149,11 @@ impl MappingScenario {
                 }
             }
         }
-        Ok(if any_source { Side::Source } else { Side::Target })
+        Ok(if any_source {
+            Side::Source
+        } else {
+            Side::Target
+        })
     }
 
     /// Structural validation beyond what `from_program` guarantees; also
@@ -361,10 +371,8 @@ pub(crate) mod tests {
 
     #[test]
     fn shared_relation_name_rejected() {
-        let prog = Program::parse(
-            "schema source { R(x: int); }\nschema target { R(x: int); }",
-        )
-        .unwrap();
+        let prog =
+            Program::parse("schema source { R(x: int); }\nschema target { R(x: int); }").unwrap();
         let err = MappingScenario::from_program(&prog).unwrap_err();
         assert!(err.to_string().contains("both schemas"));
     }

@@ -93,7 +93,9 @@ mod tests {
     fn valid_solution_accepted() {
         let sc = simple_scenario();
         let mut source = Instance::new();
-        source.add("S_P", vec![Value::int(1), Value::int(5)]).unwrap();
+        source
+            .add("S_P", vec![Value::int(1), Value::int(5)])
+            .unwrap();
         let mut target = Instance::new();
         target.add("T_P", vec![Value::int(1)]).unwrap();
         let report = validate_solution(&sc, &source, &target).unwrap();
@@ -105,7 +107,9 @@ mod tests {
     fn missing_tuple_detected() {
         let sc = simple_scenario();
         let mut source = Instance::new();
-        source.add("S_P", vec![Value::int(1), Value::int(5)]).unwrap();
+        source
+            .add("S_P", vec![Value::int(1), Value::int(5)])
+            .unwrap();
         let target = Instance::new();
         let report = validate_solution(&sc, &source, &target).unwrap();
         assert!(!report.ok);
@@ -118,7 +122,9 @@ mod tests {
         // T_P(1) present but a 0-rating kills Good(1): invalid.
         let sc = simple_scenario();
         let mut source = Instance::new();
-        source.add("S_P", vec![Value::int(1), Value::int(5)]).unwrap();
+        source
+            .add("S_P", vec![Value::int(1), Value::int(5)])
+            .unwrap();
         let mut target = Instance::new();
         target.add("T_P", vec![Value::int(1)]).unwrap();
         target
@@ -130,7 +136,9 @@ mod tests {
         let report = validate_solution(&sc, &source, &target).unwrap();
         assert!(report.ok);
 
-        target.add("T_R", vec![Value::int(1), Value::int(0)]).unwrap();
+        target
+            .add("T_R", vec![Value::int(1), Value::int(0)])
+            .unwrap();
         let report = validate_solution(&sc, &source, &target).unwrap();
         assert!(!report.ok, "{report}");
     }

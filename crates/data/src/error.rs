@@ -37,7 +37,10 @@ impl fmt::Display for DataError {
                 write!(f, "relation `{relation}` declared more than once")
             }
             DataError::DuplicateColumn { relation, column } => {
-                write!(f, "column `{column}` declared more than once in relation `{relation}`")
+                write!(
+                    f,
+                    "column `{column}` declared more than once in relation `{relation}`"
+                )
             }
             DataError::UnknownRelation { relation } => {
                 write!(f, "unknown relation `{relation}`")

@@ -110,9 +110,7 @@ impl Relation {
         let best = pattern
             .iter()
             .enumerate()
-            .filter_map(|(c, slot)| {
-                slot.as_ref().map(|v| (c, v, self.rows_with(c, v).len()))
-            })
+            .filter_map(|(c, slot)| slot.as_ref().map(|v| (c, v, self.rows_with(c, v).len())))
             .min_by_key(|&(_, _, n)| n);
         let matches = |t: &Tuple| {
             pattern
@@ -151,9 +149,7 @@ impl Relation {
         let best = pattern
             .iter()
             .enumerate()
-            .filter_map(|(c, slot)| {
-                slot.as_ref().map(|v| (c, v, self.rows_with(c, v).len()))
-            })
+            .filter_map(|(c, slot)| slot.as_ref().map(|v| (c, v, self.rows_with(c, v).len())))
             .min_by_key(|&(_, _, n)| n);
         let matches = |t: &Tuple| {
             pattern
@@ -197,11 +193,7 @@ impl Instance {
     }
 
     /// Insert a tuple into `relation`; returns whether it was new.
-    pub fn insert(
-        &mut self,
-        relation: &Arc<str>,
-        tuple: Tuple,
-    ) -> Result<bool, DataError> {
+    pub fn insert(&mut self, relation: &Arc<str>, tuple: Tuple) -> Result<bool, DataError> {
         self.relations
             .entry(relation.clone())
             .or_default()
@@ -223,7 +215,10 @@ impl Instance {
 
     /// Tuples of `name`, or an empty iterator if the relation is absent.
     pub fn tuples(&self, name: &str) -> impl Iterator<Item = &Tuple> {
-        self.relations.get(name).into_iter().flat_map(Relation::iter)
+        self.relations
+            .get(name)
+            .into_iter()
+            .flat_map(Relation::iter)
     }
 
     pub fn contains_fact(&self, relation: &str, tuple: &Tuple) -> bool {
@@ -295,9 +290,7 @@ impl Instance {
         for name in names {
             let rel = &self.relations[&name];
             // Fast path: skip relations where nothing changes.
-            let needs_rewrite = rel
-                .iter()
-                .any(|t| t.nulls().any(|id| lookup(id).is_some()));
+            let needs_rewrite = rel.iter().any(|t| t.nulls().any(|id| lookup(id).is_some()));
             if !needs_rewrite {
                 continue;
             }
@@ -349,7 +342,14 @@ mod tests {
         let mut inst = Instance::new();
         inst.add("R", vec![v(1), v(2)]).unwrap();
         let err = inst.add("R", vec![v(1)]).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 2, actual: 1, .. }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 2,
+                actual: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -431,7 +431,8 @@ mod tests {
     fn max_null_label() {
         let mut inst = Instance::new();
         assert_eq!(inst.max_null_label(), None);
-        inst.add("R", vec![Value::null(3), Value::null(11)]).unwrap();
+        inst.add("R", vec![Value::null(3), Value::null(11)])
+            .unwrap();
         assert_eq!(inst.max_null_label(), Some(11));
     }
 

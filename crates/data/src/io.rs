@@ -68,7 +68,10 @@ fn parse_value(token: &str, line: usize) -> Result<Value, ReadError> {
     {
         let inner = &t[1..t.len() - 1];
         return Ok(Value::str(
-            inner.replace("\\\"", "\"").replace("\\'", "'").replace("\\\\", "\\"),
+            inner
+                .replace("\\\"", "\"")
+                .replace("\\'", "'")
+                .replace("\\\\", "\\"),
         ));
     }
     Err(ReadError::Syntax {

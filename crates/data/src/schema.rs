@@ -78,10 +78,7 @@ pub struct RelationSchema {
 
 impl RelationSchema {
     /// Build a relation schema; column names must be distinct.
-    pub fn new(
-        name: impl AsRef<str>,
-        columns: Vec<ColumnSchema>,
-    ) -> Result<Self, DataError> {
+    pub fn new(name: impl AsRef<str>, columns: Vec<ColumnSchema>) -> Result<Self, DataError> {
         let name: Arc<str> = Arc::from(name.as_ref());
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|d| d.name == c.name) {
@@ -303,7 +300,11 @@ mod tests {
         let short = Tuple::new(vec![Value::int(1)]);
         assert!(matches!(
             r.check_tuple(&short),
-            Err(DataError::ArityMismatch { expected: 4, actual: 1, .. })
+            Err(DataError::ArityMismatch {
+                expected: 4,
+                actual: 1,
+                ..
+            })
         ));
 
         let wrong = Tuple::new(vec![
@@ -312,7 +313,10 @@ mod tests {
             Value::str("acme"),
             Value::int(5),
         ]);
-        assert!(matches!(r.check_tuple(&wrong), Err(DataError::TypeMismatch { .. })));
+        assert!(matches!(
+            r.check_tuple(&wrong),
+            Err(DataError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -332,7 +336,8 @@ mod tests {
         let mut s = Schema::new();
         s.add_relation(product()).unwrap();
         let mut t = Schema::new();
-        t.add_relation(RelationSchema::untyped("T_Product", 3)).unwrap();
+        t.add_relation(RelationSchema::untyped("T_Product", 3))
+            .unwrap();
         let u = s.union(&t).unwrap();
         assert_eq!(u.len(), 2);
         assert!(u.contains("S_Product"));

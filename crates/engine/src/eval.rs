@@ -106,11 +106,7 @@ fn run_filter(db: &impl Db, lit: &Literal, bindings: &Bindings) -> bool {
 /// (repeated variable bound to two different values, or constant mismatch —
 /// the latter is already excluded by the scan pattern but re-checked for
 /// safety).
-fn bind_tuple(
-    atom: &Atom,
-    tuple: &grom_data::Tuple,
-    bindings: &mut Bindings,
-) -> Option<Vec<Var>> {
+fn bind_tuple(atom: &Atom, tuple: &grom_data::Tuple, bindings: &mut Bindings) -> Option<Vec<Var>> {
     let mut bound_here = Vec::new();
     for (term, value) in atom.args.iter().zip(tuple.values()) {
         match term {

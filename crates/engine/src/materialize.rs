@@ -51,10 +51,7 @@ impl From<DataError> for MaterializeError {
 /// Returns a new instance containing **only** the view extents; callers that
 /// want `base ∪ Υ(base)` (e.g. the pipeline's composition reduction) union
 /// the result with `base` themselves.
-pub fn materialize_views(
-    views: &ViewSet,
-    base: &Instance,
-) -> Result<Instance, MaterializeError> {
+pub fn materialize_views(views: &ViewSet, base: &Instance) -> Result<Instance, MaterializeError> {
     let order = views.validate()?;
     let mut extents = Instance::new();
     for view in &order {
@@ -118,12 +115,21 @@ mod tests {
             )
             .unwrap();
         }
-        inst.add("T_Rating", vec![Value::int(1), Value::int(2), Value::int(0)])
-            .unwrap();
-        inst.add("T_Rating", vec![Value::int(2), Value::int(2), Value::int(1)])
-            .unwrap();
-        inst.add("T_Rating", vec![Value::int(3), Value::int(3), Value::int(0)])
-            .unwrap();
+        inst.add(
+            "T_Rating",
+            vec![Value::int(1), Value::int(2), Value::int(0)],
+        )
+        .unwrap();
+        inst.add(
+            "T_Rating",
+            vec![Value::int(2), Value::int(2), Value::int(1)],
+        )
+        .unwrap();
+        inst.add(
+            "T_Rating",
+            vec![Value::int(3), Value::int(3), Value::int(0)],
+        )
+        .unwrap();
         (prog.views, inst)
     }
 
@@ -203,9 +209,12 @@ mod tests {
         )
         .unwrap();
         let mut inst = Instance::new();
-        inst.add("Base", vec![Value::int(1), Value::int(5)]).unwrap();
-        inst.add("Base", vec![Value::int(2), Value::int(-1)]).unwrap();
-        inst.add("Base", vec![Value::int(3), Value::int(2)]).unwrap();
+        inst.add("Base", vec![Value::int(1), Value::int(5)])
+            .unwrap();
+        inst.add("Base", vec![Value::int(2), Value::int(-1)])
+            .unwrap();
+        inst.add("Base", vec![Value::int(3), Value::int(2)])
+            .unwrap();
         inst.add("Block", vec![Value::int(3)]).unwrap();
         let extents = materialize_views(&prog.views, &inst).unwrap();
         assert_eq!(names_of(&extents, "V1"), vec![1, 3]);
@@ -215,10 +224,7 @@ mod tests {
 
     #[test]
     fn recursion_is_reported() {
-        let prog = grom_lang::Program::parse(
-            "view V(x) <- W(x).\nview W(x) <- V(x).",
-        )
-        .unwrap();
+        let prog = grom_lang::Program::parse("view V(x) <- W(x).\nview W(x) <- V(x).").unwrap();
         let err = materialize_views(&prog.views, &Instance::new()).unwrap_err();
         assert!(matches!(err, MaterializeError::Lang(_)));
     }
@@ -229,9 +235,6 @@ mod tests {
         let mut inst = Instance::new();
         inst.add("A", vec![Value::int(1), Value::null(7)]).unwrap();
         let extents = materialize_views(&prog.views, &inst).unwrap();
-        assert!(extents.contains_fact(
-            "V",
-            &Tuple::new(vec![Value::int(1), Value::null(7)])
-        ));
+        assert!(extents.contains_fact("V", &Tuple::new(vec![Value::int(1), Value::null(7)])));
     }
 }

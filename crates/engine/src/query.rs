@@ -189,9 +189,7 @@ mod tests {
     fn constants_in_heads() {
         let q = Query::parse("view Q(x, 9) <- U(x).").unwrap();
         let ans = q.certain_answers(&db());
-        assert!(ans
-            .iter()
-            .all(|t| t.get(1) == Some(&Value::int(9))));
+        assert!(ans.iter().all(|t| t.get(1) == Some(&Value::int(9))));
     }
 
     #[test]

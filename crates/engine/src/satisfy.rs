@@ -29,7 +29,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dependency `{}` violated at {}", self.dependency, self.bindings)
+        write!(
+            f,
+            "dependency `{}` violated at {}",
+            self.dependency, self.bindings
+        )
     }
 }
 
@@ -62,10 +66,7 @@ pub fn disjunct_satisfied(db: &impl Db, disjunct: &Disjunct, bindings: &Bindings
 pub fn find_violation(db: &impl Db, dep: &Dependency) -> Option<Violation> {
     let mut found = None;
     evaluate_body_streaming(db, &dep.premise, &Bindings::new(), |b| {
-        let ok = dep
-            .disjuncts
-            .iter()
-            .any(|d| disjunct_satisfied(db, d, b));
+        let ok = dep.disjuncts.iter().any(|d| disjunct_satisfied(db, d, b));
         if ok {
             Control::Continue
         } else {
@@ -90,7 +91,9 @@ pub fn instance_satisfies<'d>(
     db: &impl Db,
     deps: impl IntoIterator<Item = &'d Dependency>,
 ) -> Vec<Violation> {
-    deps.into_iter().filter_map(|d| find_violation(db, d)).collect()
+    deps.into_iter()
+        .filter_map(|d| find_violation(db, d))
+        .collect()
 }
 
 #[cfg(test)]
@@ -150,10 +153,8 @@ mod tests {
     #[test]
     fn ded_satisfied_by_any_disjunct() {
         // The paper's d0 shape.
-        let dep = parse_dependency(
-            "ded d0: P(p1, n), P(p2, n) -> p1 = p2 | R(r, p1) | R(r2, p2).",
-        )
-        .unwrap();
+        let dep = parse_dependency("ded d0: P(p1, n), P(p2, n) -> p1 = p2 | R(r, p1) | R(r2, p2).")
+            .unwrap();
         // Same name, different ids, but p2 has an R-tuple: satisfied.
         let db = inst(&[("P", &[1, 7]), ("P", &[2, 7]), ("R", &[5, 2])]);
         assert!(dependency_satisfied(&db, &dep));
@@ -186,8 +187,7 @@ mod tests {
 
     #[test]
     fn premise_with_negation() {
-        let dep =
-            parse_dependency("dep d: S(x), not Block(x) -> T(x).").unwrap();
+        let dep = parse_dependency("dep d: S(x), not Block(x) -> T(x).").unwrap();
         let db = inst(&[("S", &[1]), ("Block", &[1])]);
         assert!(dependency_satisfied(&db, &dep));
         let db = inst(&[("S", &[1])]);

@@ -156,18 +156,16 @@ impl CmpOp {
         match self {
             CmpOp::Eq => lhs == rhs,
             CmpOp::Neq => lhs != rhs,
-            CmpOp::Lt | CmpOp::Leq | CmpOp::Gt | CmpOp::Geq => {
-                match lhs.try_cmp(rhs) {
-                    None => false,
-                    Some(ord) => match self {
-                        CmpOp::Lt => ord.is_lt(),
-                        CmpOp::Leq => ord.is_le(),
-                        CmpOp::Gt => ord.is_gt(),
-                        CmpOp::Geq => ord.is_ge(),
-                        _ => unreachable!(),
-                    },
-                }
-            }
+            CmpOp::Lt | CmpOp::Leq | CmpOp::Gt | CmpOp::Geq => match lhs.try_cmp(rhs) {
+                None => false,
+                Some(ord) => match self {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Leq => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Geq => ord.is_ge(),
+                    _ => unreachable!(),
+                },
+            },
         }
     }
 }
@@ -338,7 +336,12 @@ mod tests {
     fn atom_variables_dedup_in_order() {
         let atom = Atom::new(
             "R",
-            vec![Term::var("x"), Term::cons(3i64), Term::var("y"), Term::var("x")],
+            vec![
+                Term::var("x"),
+                Term::cons(3i64),
+                Term::var("y"),
+                Term::var("x"),
+            ],
         );
         let vars: Vec<String> = atom.variables().iter().map(|v| v.to_string()).collect();
         assert_eq!(vars, vec!["x", "y"]);
@@ -347,7 +350,14 @@ mod tests {
 
     #[test]
     fn cmp_negate_is_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Leq,
+            CmpOp::Gt,
+            CmpOp::Geq,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
@@ -384,7 +394,14 @@ mod tests {
     #[test]
     fn negation_of_comparison_matches_complement_semantics() {
         let vals = [Value::int(1), Value::int(2), Value::int(3)];
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Leq,
+            CmpOp::Gt,
+            CmpOp::Geq,
+        ] {
             for a in &vals {
                 for b in &vals {
                     assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
@@ -420,7 +437,10 @@ mod tests {
             Literal::Neg(a("S", &["y", "z"])),
             Literal::Cmp(Comparison::new(CmpOp::Lt, Term::var("w"), Term::cons(2i64))),
         ];
-        let all: Vec<String> = body_variables(&body).iter().map(|v| v.to_string()).collect();
+        let all: Vec<String> = body_variables(&body)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         assert_eq!(all, vec!["x", "y", "z", "w"]);
         let pos: Vec<String> = positively_bound_variables(&body)
             .iter()

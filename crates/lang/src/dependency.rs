@@ -176,11 +176,7 @@ pub struct Dependency {
 }
 
 impl Dependency {
-    pub fn new(
-        name: impl AsRef<str>,
-        premise: Vec<Literal>,
-        disjuncts: Vec<Disjunct>,
-    ) -> Self {
+    pub fn new(name: impl AsRef<str>, premise: Vec<Literal>, disjuncts: Vec<Disjunct>) -> Self {
         Self {
             name: Arc::from(name.as_ref()),
             premise,
@@ -369,9 +365,17 @@ mod tests {
         let dep = d0();
         let uni: Vec<String> = dep.universal_vars().iter().map(|v| v.to_string()).collect();
         assert_eq!(uni, vec!["p1", "n", "s1", "p2", "s2"]);
-        let ex1: Vec<String> = dep.existential_vars(1).iter().map(|v| v.to_string()).collect();
+        let ex1: Vec<String> = dep
+            .existential_vars(1)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         assert_eq!(ex1, vec!["r"]);
-        let ex0: Vec<String> = dep.existential_vars(0).iter().map(|v| v.to_string()).collect();
+        let ex0: Vec<String> = dep
+            .existential_vars(0)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         assert!(ex0.is_empty());
     }
 

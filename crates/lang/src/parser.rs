@@ -28,8 +28,6 @@
 //! keywords assert the dependency's class and are verified; `ded` and `dep`
 //! accept any shape.
 
-
-
 use grom_data::{ColumnSchema, ColumnType, Fact, RelationSchema, Schema, Value};
 
 use crate::ast::{Atom, CmpOp, Comparison, Literal, Term};
@@ -54,10 +52,10 @@ enum Tok {
     Semi,
     Dot,
     Pipe,
-    Arrow,     // ->
-    RevArrow,  // <-
-    Eq,        // = or ==
-    Neq,       // !=
+    Arrow,    // ->
+    RevArrow, // <-
+    Eq,       // = or ==
+    Neq,      // !=
     Lt,
     Leq,
     Gt,
@@ -109,7 +107,11 @@ fn lex(text: &str) -> Result<Vec<Spanned>, LangError> {
 
     macro_rules! push {
         ($tok:expr, $l:expr, $c:expr) => {
-            out.push(Spanned { tok: $tok, line: $l, col: $c })
+            out.push(Spanned {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
         };
     }
 
@@ -225,7 +227,11 @@ fn lex(text: &str) -> Result<Vec<Spanned>, LangError> {
                     }
                     push!(Tok::Int(-n), l0, c0);
                 } else {
-                    return Err(LangError::parse(l0, c0, "expected `->` or a number after `-`"));
+                    return Err(LangError::parse(
+                        l0,
+                        c0,
+                        "expected `->` or a number after `-`",
+                    ));
                 }
             }
             '"' | '\'' => {
@@ -481,8 +487,7 @@ impl Parser {
 
     fn dependency(&mut self, keyword: &str) -> Result<Dependency, LangError> {
         // Optional name: IDENT ':'.
-        let name = if matches!(&self.peek().tok, Tok::Ident(_)) && self.peek2().tok == Tok::Colon
-        {
+        let name = if matches!(&self.peek().tok, Tok::Ident(_)) && self.peek2().tok == Tok::Colon {
             let n = self.expect_ident()?;
             self.expect(Tok::Colon)?;
             n
@@ -741,7 +746,11 @@ mod tests {
         assert_eq!(m3.name.as_ref(), "m3");
         assert_eq!(m3.class(), DepClass::Tgd);
         // sid is existential in m3.
-        let ex: Vec<String> = m3.existential_vars(0).iter().map(|v| v.to_string()).collect();
+        let ex: Vec<String> = m3
+            .existential_vars(0)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         assert_eq!(ex, vec!["sid"]);
 
         let e0 = &prog.deps[4];
@@ -777,10 +786,7 @@ mod tests {
 
     #[test]
     fn parse_string_and_bool_constants() {
-        let dep = parse_dependency(
-            "dep d: S(x, \"acme\", 'roma', true, -7) -> T(x).",
-        )
-        .unwrap();
+        let dep = parse_dependency("dep d: S(x, \"acme\", 'roma', true, -7) -> T(x).").unwrap();
         let args = &dep.premise[0].atom().unwrap().args;
         assert_eq!(args[1], Term::Const(Value::str("acme")));
         assert_eq!(args[2], Term::Const(Value::str("roma")));

@@ -247,7 +247,8 @@ mod tests {
     fn view_and_schema_arity_cross_checked() {
         let mut p = Program::default();
         let mut s = Schema::new();
-        s.add_relation(grom_data::RelationSchema::untyped("V", 3)).unwrap();
+        s.add_relation(grom_data::RelationSchema::untyped("V", 3))
+            .unwrap();
         p.schemas.insert("target".into(), s);
         p.views
             .add_rule(ViewRule::new(
@@ -263,14 +264,19 @@ mod tests {
     fn undeclared_predicates_reported() {
         let mut p = Program::default();
         let mut s = Schema::new();
-        s.add_relation(grom_data::RelationSchema::untyped("S", 1)).unwrap();
+        s.add_relation(grom_data::RelationSchema::untyped("S", 1))
+            .unwrap();
         p.schemas.insert("source".into(), s);
         p.deps.push(Dependency::tgd(
             "m",
             vec![Literal::Pos(atom("S", &["x"]))],
             vec![atom("Mystery", &["x"])],
         ));
-        let und: Vec<String> = p.undeclared_predicates().iter().map(|x| x.to_string()).collect();
+        let und: Vec<String> = p
+            .undeclared_predicates()
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
         assert_eq!(und, vec!["Mystery"]);
     }
 

@@ -53,9 +53,7 @@ pub fn check_view_rule(rule: &ViewRule) -> Result<(), LangError> {
         if !bound.contains(&v) {
             return Err(LangError::Unsafe {
                 context,
-                detail: format!(
-                    "head variable `{v}` does not occur in any positive body atom"
-                ),
+                detail: format!("head variable `{v}` does not occur in any positive body atom"),
             });
         }
     }
@@ -142,10 +140,7 @@ mod tests {
 
     #[test]
     fn head_variable_bound_only_by_negation_rejected() {
-        let rule = ViewRule::new(
-            atom("V", &["x"]),
-            vec![Literal::Neg(atom("A", &["x"]))],
-        );
+        let rule = ViewRule::new(atom("V", &["x"]), vec![Literal::Neg(atom("A", &["x"]))]);
         assert!(check_view_rule(&rule).is_err());
     }
 

@@ -258,7 +258,10 @@ mod tests {
         // v6: Store(id, name, addr) <- T_Store(id, name, addr, phone)
         vs.add_rule(ViewRule::new(
             atom("Store", &["id", "name", "addr"]),
-            vec![Literal::Pos(atom("T_Store", &["id", "name", "addr", "phone"]))],
+            vec![Literal::Pos(atom(
+                "T_Store",
+                &["id", "name", "addr", "phone"],
+            ))],
         ))
         .unwrap();
         vs

@@ -271,10 +271,7 @@ mod tests {
 
     #[test]
     fn profiles_capture_unions_and_negations() {
-        let prog = parse_program(
-            "view V(x) <- A(x).\nview V(x) <- B(x), not C(x).",
-        )
-        .unwrap();
+        let prog = parse_program("view V(x) <- A(x).\nview V(x) <- B(x), not C(x).").unwrap();
         let profiles = view_profiles(&prog.views);
         assert_eq!(profiles.len(), 1);
         let p = &profiles[0];
@@ -288,8 +285,7 @@ mod tests {
         let prog = parse_program("view V(x, n) <- A(x, n).").unwrap();
         let egd = parse_dependency("egd e: V(x1, n), V(x2, n) -> x1 = x2.").unwrap();
         assert!(!predicts_deds(&prog.views, &egd));
-        let (report, _) =
-            analyze(&prog.views, &[egd], &RewriteOptions::default()).unwrap();
+        let (report, _) = analyze(&prog.views, &[egd], &RewriteOptions::default()).unwrap();
         assert!(!report.has_deds);
         assert!(report.problematic.is_empty());
     }
@@ -302,8 +298,7 @@ mod tests {
         )
         .unwrap();
         assert!(predicts_deds(&prog.views, &egd));
-        let (report, output) =
-            analyze(&prog.views, &[egd], &RewriteOptions::default()).unwrap();
+        let (report, output) = analyze(&prog.views, &[egd], &RewriteOptions::default()).unwrap();
         assert!(report.has_deds);
         assert!(!output.is_ded_free());
         // PopularProduct is blamed.
@@ -325,8 +320,7 @@ mod tests {
             let prog = parse_program(views_text).unwrap();
             let dep = parse_dependency(dep_text).unwrap();
             let predicted = predicts_deds(&prog.views, &dep);
-            let (report, _) =
-                analyze(&prog.views, &[dep], &RewriteOptions::default()).unwrap();
+            let (report, _) = analyze(&prog.views, &[dep], &RewriteOptions::default()).unwrap();
             if !predicted {
                 assert!(!report.has_deds, "unsound prediction for {dep_text}");
             }
@@ -338,8 +332,7 @@ mod tests {
         let prog = parse_program("view V(x) <- A(x).\nview V(x) <- B(x).").unwrap();
         let dep = parse_dependency("tgd m: S(x) -> V(x).").unwrap();
         assert!(predicts_deds(&prog.views, &dep));
-        let (report, _) =
-            analyze(&prog.views, &[dep], &RewriteOptions::default()).unwrap();
+        let (report, _) = analyze(&prog.views, &[dep], &RewriteOptions::default()).unwrap();
         assert!(report.has_deds);
     }
 
@@ -351,8 +344,7 @@ mod tests {
              -> UnpopularProduct(pid, name).",
         )
         .unwrap();
-        let (report, _) =
-            analyze(&prog.views, &[dep], &RewriteOptions::default()).unwrap();
+        let (report, _) = analyze(&prog.views, &[dep], &RewriteOptions::default()).unwrap();
         // The nesting through PopularProduct triggers a dropped-negation
         // strengthening which the report surfaces.
         assert!(!report.problematic.is_empty());
@@ -364,8 +356,7 @@ mod tests {
     fn report_displays() {
         let prog = parse_program("view V(x) <- A(x).").unwrap();
         let dep = parse_dependency("tgd m: S(x) -> V(x).").unwrap();
-        let (report, _) =
-            analyze(&prog.views, &[dep], &RewriteOptions::default()).unwrap();
+        let (report, _) = analyze(&prog.views, &[dep], &RewriteOptions::default()).unwrap();
         let text = report.to_string();
         assert!(text.contains("ded-free"));
         assert!(text.contains("no problematic views"));

@@ -155,8 +155,7 @@ pub fn expand_atom(
             }
         }
         // Rename body-only variables apart.
-        let head_vars: std::collections::BTreeSet<_> =
-            rule.head.variables().into_iter().collect();
+        let head_vars: std::collections::BTreeSet<_> = rule.head.variables().into_iter().collect();
         for v in grom_lang::ast::body_variables(&rule.body) {
             if !head_vars.contains(&v) {
                 subst.bind(v.clone(), Term::Var(vargen.fresh(&v)));
@@ -164,8 +163,7 @@ pub fn expand_atom(
         }
 
         // Expand the substituted body.
-        let mut rule_alts: Vec<Vec<XLit>> =
-            vec![eq_conds.iter().cloned().map(XLit::Cmp).collect()];
+        let mut rule_alts: Vec<Vec<XLit>> = vec![eq_conds.iter().cloned().map(XLit::Cmp).collect()];
         for lit in subst.apply_body(&rule.body) {
             match lit {
                 Literal::Pos(a) => {
@@ -284,7 +282,9 @@ mod tests {
         assert_eq!(nt.source.predicate.as_ref(), "Pop");
         // Pop's expansion itself contains a nested negation tree.
         assert_eq!(nt.alts.len(), 1);
-        assert!(matches!(&nt.alts[0][1], XLit::Neg(inner) if inner.source.predicate.as_ref() == "R"));
+        assert!(
+            matches!(&nt.alts[0][1], XLit::Neg(inner) if inner.source.predicate.as_ref() == "R")
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use grom_lang::{
-    Atom, CmpOp, Comparison, Dependency, Disjunct, Literal, Term, TermSubst, Var, VarGen,
-    ViewSet,
+    Atom, CmpOp, Comparison, Dependency, Disjunct, Literal, Term, TermSubst, Var, VarGen, ViewSet,
 };
 
 use crate::error::{RewriteError, RewriteWarning};
@@ -73,9 +72,7 @@ impl FlatAlt {
         for x in xs {
             match x {
                 XLit::Pos(a) => out.atoms.push(a.clone()),
-                XLit::Cmp(c) if c.op == CmpOp::Eq => {
-                    out.eqs.push((c.lhs.clone(), c.rhs.clone()))
-                }
+                XLit::Cmp(c) if c.op == CmpOp::Eq => out.eqs.push((c.lhs.clone(), c.rhs.clone())),
                 XLit::Cmp(c) => out.cmps.push(c.clone()),
                 XLit::Neg(nt) => out.negs.push(nt.clone()),
             }
@@ -101,7 +98,6 @@ impl FlatAlt {
             }
         }
     }
-
 }
 
 /// Result of [`simplify`].
@@ -615,10 +611,7 @@ mod tests {
 
     #[test]
     fn conjunctive_view_unfolding_is_plain_tgd() {
-        let out = rewrite_one(
-            "view V(x) <- A(x, y), B(y).",
-            "tgd m: S(x) -> V(x).",
-        );
+        let out = rewrite_one("view V(x) <- A(x, y), B(y).", "tgd m: S(x) -> V(x).");
         assert_eq!(out.deps.len(), 1);
         let dep = &out.deps[0];
         assert_eq!(dep.class(), DepClass::Tgd);
@@ -762,10 +755,7 @@ mod tests {
 
     #[test]
     fn negated_premise_literal_moves_to_conclusion() {
-        let out = rewrite_one(
-            "view V(x) <- A(x).",
-            "dep m: S(x), not B(x) -> T(x).",
-        );
+        let out = rewrite_one("view V(x) <- A(x).", "dep m: S(x), not B(x) -> T(x).");
         assert_eq!(out.deps.len(), 1);
         let dep = &out.deps[0];
         assert_eq!(dep.class(), DepClass::Ded);
@@ -832,10 +822,7 @@ mod tests {
 
     #[test]
     fn denial_over_views_unfolds() {
-        let out = rewrite_one(
-            "view V(x) <- A(x).",
-            "dep n: V(x), V(y), x != y -> false.",
-        );
+        let out = rewrite_one("view V(x) <- A(x).", "dep n: V(x), V(y), x != y -> false.");
         assert_eq!(out.deps.len(), 1);
         assert_eq!(out.deps[0].class(), DepClass::Denial);
         assert_eq!(
@@ -900,7 +887,11 @@ mod tests {
         let a = rewrite_program(&prog.views, std::slice::from_ref(&dep), &opts()).unwrap();
         let b = rewrite_program(&prog.views, std::slice::from_ref(&dep), &opts()).unwrap();
         let fmt = |o: &RewriteOutput| {
-            o.deps.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+            o.deps
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
         };
         assert_eq!(fmt(&a), fmt(&b));
     }
@@ -921,10 +912,7 @@ mod tests {
     #[test]
     fn shared_existential_strengthening_warns() {
         // The negated atom uses the body variable z of the positive part.
-        let out = rewrite_one(
-            "view V(x) <- A(x, z), not B(z).",
-            "tgd m: S(x) -> V(x).",
-        );
+        let out = rewrite_one("view V(x) <- A(x, z), not B(z).", "tgd m: S(x) -> V(x).");
         assert!(out
             .warnings
             .iter()

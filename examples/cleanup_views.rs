@@ -45,8 +45,8 @@ fn main() {
     let rows: Vec<(i64, &str, &str, i64, i64)> = vec![
         (1, "ann", "ann@x.org", 1, 10),
         (2, "ann", "ann@x.org", 1, 20),
-        (3, "bob", "", 1, 5),        // no email: signal only, not a user
-        (4, "carl", "c@x.org", 0, 9), // test traffic: dropped entirely
+        (3, "bob", "", 1, 5),          // no email: signal only, not a user
+        (4, "carl", "c@x.org", 0, 9),  // test traffic: dropped entirely
         (5, "dora", "d@x.org", 2, -1), // unknown score: dropped entirely
         (6, "eve", "e@x.org", 3, 7),
     ];

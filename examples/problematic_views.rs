@@ -18,9 +18,8 @@ fn main() {
 
     println!("==== Step 1: the original (paper) views ====\n");
     let deps: Vec<Dependency> = perverse.all_dependencies().cloned().collect();
-    let (report, output) =
-        analyze(&perverse.target_views, &deps, &RewriteOptions::default())
-            .expect("analyze succeeds");
+    let (report, output) = analyze(&perverse.target_views, &deps, &RewriteOptions::default())
+        .expect("analyze succeeds");
     println!("{report}");
     println!("rewritten dependencies:");
     for dep in &output.deps {
@@ -35,9 +34,12 @@ fn main() {
          flag table in the physical target schema)\n"
     );
     let deps: Vec<Dependency> = reformulated.all_dependencies().cloned().collect();
-    let (report, output) =
-        analyze(&reformulated.target_views, &deps, &RewriteOptions::default())
-            .expect("analyze succeeds");
+    let (report, output) = analyze(
+        &reformulated.target_views,
+        &deps,
+        &RewriteOptions::default(),
+    )
+    .expect("analyze succeeds");
     println!("{report}");
     println!("rewritten dependencies:");
     for dep in &output.deps {

@@ -98,11 +98,15 @@ fn provenance_maps_every_output_to_its_input() {
         let input = &out.provenance[&dep.name];
         assert!(
             ["m_hi", "key"].contains(&input.as_ref()),
-            "unexpected provenance {input} for {}", dep.name
+            "unexpected provenance {input} for {}",
+            dep.name
         );
     }
     // The ded produced from the key egd blames the Good view.
-    let ded = out.deds().next().expect("key egd over negated view gives a ded");
+    let ded = out
+        .deds()
+        .next()
+        .expect("key egd over negated view gives a ded");
     assert!(out.ded_causes[&ded.name]
         .iter()
         .any(|c| c.as_ref() == "Good"));
@@ -122,8 +126,12 @@ fn chase_failure_message_names_the_dependency() {
     .unwrap();
     let sc = MappingScenario::from_program(&prog).unwrap();
     let mut source = Instance::new();
-    source.add("S", vec![Value::int(1), Value::int(10)]).unwrap();
-    source.add("S", vec![Value::int(1), Value::int(20)]).unwrap();
+    source
+        .add("S", vec![Value::int(1), Value::int(10)])
+        .unwrap();
+    source
+        .add("S", vec![Value::int(1), Value::int(20)])
+        .unwrap();
     let err = sc.run(&source, &PipelineOptions::default()).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("funky"), "{msg}");

@@ -1,0 +1,35 @@
+//! Workspace smoke test: every example in `examples/` must run to
+//! completion. The examples double as executable documentation of the
+//! pipeline (quickstart, problematic views, schema evolution, ...), so a
+//! change that breaks one of them should fail `cargo test`, not wait for a
+//! human to try the README.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "cleanup_views",
+    "problematic_views",
+    "product_classification",
+    "schema_evolution",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    for example in EXAMPLES {
+        // `cargo test` has already built the examples, so each `cargo run`
+        // is an up-to-date check plus the actual run.
+        let output = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} failed with {}\nstdout:\n{}\nstderr:\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

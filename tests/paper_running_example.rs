@@ -88,11 +88,12 @@ fn d0_is_generated_with_the_papers_exact_shape() {
 #[test]
 fn end_to_end_classification_matches_ratings() {
     let sc = scenario();
-    let res = sc.run(&small_source(), &PipelineOptions::default()).unwrap();
+    let res = sc
+        .run(&small_source(), &PipelineOptions::default())
+        .unwrap();
     assert!(res.validation.as_ref().unwrap().ok);
 
-    let extents =
-        grom::engine::materialize_views(&sc.target_views, &res.target).unwrap();
+    let extents = grom::engine::materialize_views(&sc.target_views, &res.target).unwrap();
     let ids = |view: &str| -> Vec<i64> {
         let mut v: Vec<i64> = extents
             .tuples(view)
@@ -114,7 +115,9 @@ fn end_to_end_classification_matches_ratings() {
 #[test]
 fn average_products_get_rating_witnesses() {
     let sc = scenario();
-    let res = sc.run(&small_source(), &PipelineOptions::default()).unwrap();
+    let res = sc
+        .run(&small_source(), &PipelineOptions::default())
+        .unwrap();
     // Product 2 (average) needs a thumbsUp=1 witness and — to not be
     // popular — a thumbsUp=0 witness. Product 3 (unpopular) needs a 0.
     let rating_of = |pid: i64, val: i64| {
@@ -124,7 +127,10 @@ fn average_products_get_rating_witnesses() {
     };
     assert!(rating_of(2, 1), "average product needs a 1-rating witness");
     assert!(rating_of(2, 0), "average product must not be popular");
-    assert!(rating_of(3, 0), "unpopular product needs a 0-rating witness");
+    assert!(
+        rating_of(3, 0),
+        "unpopular product needs a 0-rating witness"
+    );
     // Popular product 1 must have no 0-rating (the m2 denial).
     assert!(!rating_of(1, 0));
 }
@@ -132,13 +138,18 @@ fn average_products_get_rating_witnesses() {
 #[test]
 fn store_ids_are_invented_nulls_linking_products_to_stores() {
     let sc = scenario();
-    let res = sc.run(&small_source(), &PipelineOptions::default()).unwrap();
+    let res = sc
+        .run(&small_source(), &PipelineOptions::default())
+        .unwrap();
     // m3: SoldAt(pid, sid), Store(sid, store, location) — sid is invented.
     let stores: Vec<&Tuple> = res.target.tuples("T_Store").collect();
     assert!(!stores.is_empty());
     for s in &stores {
         assert!(s.get(0).unwrap().is_null(), "store id is a labeled null");
-        assert!(s.get(1).unwrap().as_str().is_some(), "store name is real data");
+        assert!(
+            s.get(1).unwrap().as_str().is_some(),
+            "store name is real data"
+        );
     }
 }
 
@@ -198,7 +209,9 @@ fn duplicate_names_with_low_ratings_succeed() {
 #[test]
 fn rewritten_program_is_weakly_acyclic() {
     let sc = scenario();
-    let res = sc.run(&small_source(), &PipelineOptions::default()).unwrap();
+    let res = sc
+        .run(&small_source(), &PipelineOptions::default())
+        .unwrap();
     assert!(res.wa_report.weakly_acyclic, "{}", res.wa_report);
 }
 
@@ -206,8 +219,7 @@ fn rewritten_program_is_weakly_acyclic() {
 fn analyzer_flags_the_negation_views() {
     let sc = scenario();
     let deps: Vec<Dependency> = sc.all_dependencies().cloned().collect();
-    let (report, _) =
-        analyze(&sc.target_views, &deps, &RewriteOptions::default()).unwrap();
+    let (report, _) = analyze(&sc.target_views, &deps, &RewriteOptions::default()).unwrap();
     assert!(report.has_deds);
     let flagged: Vec<&str> = report.problematic.iter().map(|p| p.view.as_ref()).collect();
     assert!(flagged.contains(&"PopularProduct"), "{flagged:?}");

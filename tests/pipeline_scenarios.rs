@@ -106,8 +106,14 @@ fn source_and_target_semantic_schemas_together() {
         tgd m: WellPaid(n, d) -> Member(n, d).
         "#,
         &[
-            ("S_Emp", vec![Value::str("ann"), Value::str("db"), Value::int(200)]),
-            ("S_Emp", vec![Value::str("bob"), Value::str("ai"), Value::int(50)]),
+            (
+                "S_Emp",
+                vec![Value::str("ann"), Value::str("db"), Value::int(200)],
+            ),
+            (
+                "S_Emp",
+                vec![Value::str("bob"), Value::str("ai"), Value::int(50)],
+            ),
         ],
     )
     .unwrap();
@@ -290,8 +296,7 @@ fn exhaustive_and_greedy_agree_on_satisfiability() {
         grom::chase::chase_greedy(source.clone(), &rewritten.deps, &ChaseConfig::default())
             .unwrap();
     let exhaustive =
-        grom::chase::chase_exhaustive(source, &rewritten.deps, &ChaseConfig::default())
-            .unwrap();
+        grom::chase::chase_exhaustive(source, &rewritten.deps, &ChaseConfig::default()).unwrap();
     // 2 facts × 2 branches = 4 leaves; greedy commits to one branch.
     assert_eq!(exhaustive.solutions.len(), 4);
     for sol in &exhaustive.solutions {

@@ -15,18 +15,21 @@ const RELS: [&str; 3] = ["R0", "R1", "R2"];
 const VARS: [&str; 3] = ["x", "y", "z"];
 
 fn atom(rel: usize, a: usize, b: usize) -> Atom {
-    Atom::new(RELS[rel % 3], vec![Term::var(VARS[a % 3]), Term::var(VARS[b % 3])])
+    Atom::new(
+        RELS[rel % 3],
+        vec![Term::var(VARS[a % 3]), Term::var(VARS[b % 3])],
+    )
 }
 
 /// A random tgd over binary relations; conclusion variables are premise
 /// variables or the existential `w`.
 fn arb_tgd() -> impl Strategy<Value = Dependency> {
     (
-        0usize..3,          // premise relation
-        0usize..3,          // conclusion relation
-        prop::bool::ANY,    // second premise atom?
-        0usize..4,          // conclusion arg 1 selector (3 = existential w)
-        0usize..4,          // conclusion arg 2 selector
+        0usize..3,       // premise relation
+        0usize..3,       // conclusion relation
+        prop::bool::ANY, // second premise atom?
+        0usize..4,       // conclusion arg 1 selector (3 = existential w)
+        0usize..4,       // conclusion arg 2 selector
     )
         .prop_map(|(pr, cr, two, c1, c2)| {
             let mut premise = vec![Literal::Pos(atom(pr, 0, 1))];
@@ -81,7 +84,8 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
     prop::collection::vec((0usize..3, 0i64..3, 0i64..3), 0..8).prop_map(|facts| {
         let mut inst = Instance::new();
         for (r, a, b) in facts {
-            inst.add(RELS[r], vec![Value::int(a), Value::int(b)]).unwrap();
+            inst.add(RELS[r], vec![Value::int(a), Value::int(b)])
+                .unwrap();
         }
         inst
     })

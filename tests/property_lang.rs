@@ -43,8 +43,7 @@ fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
 }
 
 fn arb_comparison() -> impl Strategy<Value = Comparison> {
-    (arb_cmp_op(), arb_term(), arb_term())
-        .prop_map(|(op, l, r)| Comparison::new(op, l, r))
+    (arb_cmp_op(), arb_term(), arb_term()).prop_map(|(op, l, r)| Comparison::new(op, l, r))
 }
 
 fn arb_literal() -> impl Strategy<Value = Literal> {

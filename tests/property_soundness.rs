@@ -58,7 +58,10 @@ fn arb_body_lit(view_idx: usize) -> impl Strategy<Value = BodyLit> {
 
 fn arb_view(view_idx: usize) -> impl Strategy<Value = ViewSpec> {
     prop::collection::vec(
-        (0usize..2, prop::collection::vec(arb_body_lit(view_idx), 0..2)),
+        (
+            0usize..2,
+            prop::collection::vec(arb_body_lit(view_idx), 0..2),
+        ),
         1..3, // 1 or 2 union rules
     )
     .prop_map(|rules| ViewSpec { rules })

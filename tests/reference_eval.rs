@@ -110,9 +110,8 @@ fn holds(inst: &Instance, body: &[Literal], bindings: &Bindings) -> bool {
 }
 
 fn arb_atom() -> impl Strategy<Value = Atom> {
-    (0usize..3, 0usize..4, 0usize..4).prop_map(|(r, a, b)| {
-        Atom::new(RELS[r], vec![Term::var(VARS[a]), Term::var(VARS[b])])
-    })
+    (0usize..3, 0usize..4, 0usize..4)
+        .prop_map(|(r, a, b)| Atom::new(RELS[r], vec![Term::var(VARS[a]), Term::var(VARS[b])]))
 }
 
 fn arb_literal() -> impl Strategy<Value = Literal> {
@@ -149,7 +148,8 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
     prop::collection::vec((0usize..3, 0i64..3, 0i64..3), 0..7).prop_map(|facts| {
         let mut inst = Instance::new();
         for (r, a, b) in facts {
-            inst.add(RELS[r], vec![Value::int(a), Value::int(b)]).unwrap();
+            inst.add(RELS[r], vec![Value::int(a), Value::int(b)])
+                .unwrap();
         }
         inst
     })
