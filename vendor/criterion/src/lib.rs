@@ -1,0 +1,208 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` the
+//! workspace benches use: `Criterion::benchmark_group`, group
+//! `sample_size` / `throughput` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The workspace builds fully offline, so the real crates.io `criterion`
+//! cannot be fetched. This shim keeps every bench source-compatible and
+//! keeps `cargo bench` useful: in normal mode each benchmark is timed over
+//! a bounded number of iterations and a mean per-iteration time is
+//! printed; with `--test` (the CI smoke mode, same flag as upstream) each
+//! benchmark body runs exactly once and no timing is reported.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream criterion also reacts to `--test`; cargo itself passes
+        // `--bench`, which we ignore along with any unknown flags.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in normal-mode output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let id = BenchmarkId { id: id.into() };
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (1 iteration, --test mode)", self.name, id.id);
+            return;
+        }
+        let iters = bencher.iters.max(1);
+        let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!(" ({:.0} elem/s)", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if mean > 0.0 => {
+                format!(" ({:.0} B/s)", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} ms/iter over {} iters{}",
+            self.name,
+            id.id,
+            mean * 1e3,
+            iters,
+            rate
+        );
+    }
+}
+
+/// Passed to benchmark routines; `iter` runs and times the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // One warmup iteration, then time a bounded batch: enough for a
+        // smoke signal without upstream criterion's statistical machinery.
+        black_box(routine());
+        let budget = Duration::from_secs(2);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 20 && start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a runnable group, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running every group; tolerates harness flags such as
+/// `--bench` (passed by cargo) and `--test` (smoke mode).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
