@@ -1,0 +1,260 @@
+//! The CI bench-regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate <BENCH_baseline.json> <BENCH_candidate.json> [--threshold 0.25]
+//! ```
+//!
+//! Both files hold the shared JSONL bench format (one
+//! `{"name":…,"wall_ms":…}` object per line) emitted by the `experiments`
+//! harness and the criterion shim behind `GROM_BENCH_JSON`. The gate fails
+//! (exit code 1) when any workload present in the baseline
+//!
+//! * is missing from the candidate, or
+//! * regressed by more than the threshold (default 25%, override with
+//!   `--threshold` or `GROM_BENCH_GATE_THRESHOLD`), unless both timings
+//!   are below the noise floor (default 5 ms, override with
+//!   `GROM_BENCH_GATE_MIN_MS`) where shares of a millisecond are jitter,
+//!   not signal.
+//!
+//! Workloads only present in the candidate are reported but never fail the
+//! gate — new benches should not need a baseline update to land.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parse one JSONL bench line into `(name, wall_ms)`. Tolerates unknown
+/// extra fields; returns `None` for blank/malformed lines.
+fn parse_line(line: &str) -> Option<(String, f64)> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let name = extract_string(line, "name")?;
+    let wall_ms = extract_number(line, "wall_ms")?;
+    Some((name, wall_ms))
+}
+
+/// Extract the string value of `"key":"…"`, honoring `\"` and `\\` escapes.
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in line[start..].chars() {
+        if escaped {
+            out.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Some(out);
+        } else {
+            out.push(c);
+        }
+    }
+    None
+}
+
+/// Extract the numeric value of `"key":123.45`.
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Read a JSONL bench file into name → wall_ms. Repeated names keep the
+/// **minimum** — appending several harness runs to one file and comparing
+/// best-of-N is the cheap way to cut scheduler jitter out of a wall-time
+/// gate.
+fn read_records(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut out: BTreeMap<String, f64> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some((name, ms)) = parse_line(line) {
+            out.entry(name)
+                .and_modify(|best| *best = best.min(ms))
+                .or_insert(ms);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("`{path}` contains no bench records"));
+    }
+    Ok(out)
+}
+
+struct GateConfig {
+    threshold: f64,
+    min_ms: f64,
+}
+
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Ok,
+    BelowNoiseFloor,
+    Improved,
+    Regressed,
+    Missing,
+}
+
+fn judge(base_ms: f64, cand_ms: Option<f64>, cfg: &GateConfig) -> Verdict {
+    let Some(cand_ms) = cand_ms else {
+        return Verdict::Missing;
+    };
+    if base_ms < cfg.min_ms && cand_ms < cfg.min_ms {
+        return Verdict::BelowNoiseFloor;
+    }
+    let ratio = cand_ms / base_ms.max(1e-9) - 1.0;
+    if ratio > cfg.threshold {
+        Verdict::Regressed
+    } else if ratio < -cfg.threshold {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = env_f64("GROM_BENCH_GATE_THRESHOLD").unwrap_or(0.25);
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            i += 1;
+            threshold = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--threshold requires a number");
+                std::process::exit(2);
+            });
+        } else {
+            paths.push(args[i].clone());
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_gate <baseline.json> <candidate.json> [--threshold 0.25]");
+        return ExitCode::from(2);
+    }
+    let cfg = GateConfig {
+        threshold,
+        min_ms: env_f64("GROM_BENCH_GATE_MIN_MS").unwrap_or(5.0),
+    };
+
+    let (baseline, candidate) = match (read_records(&paths[0]), read_records(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    println!(
+        "bench gate: threshold +{:.0}%, noise floor {} ms",
+        cfg.threshold * 100.0,
+        cfg.min_ms
+    );
+    for (name, &base_ms) in &baseline {
+        let cand_ms = candidate.get(name).copied();
+        let verdict = judge(base_ms, cand_ms, &cfg);
+        let shown = cand_ms
+            .map(|m| format!("{m:.2}"))
+            .unwrap_or_else(|| "-".into());
+        let tag = match verdict {
+            Verdict::Ok => "ok",
+            Verdict::BelowNoiseFloor => "ok (noise floor)",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => {
+                failures += 1;
+                "REGRESSED"
+            }
+            Verdict::Missing => {
+                failures += 1;
+                "MISSING"
+            }
+        };
+        println!("  {name}: {base_ms:.2} ms -> {shown} ms  [{tag}]");
+    }
+    for name in candidate.keys() {
+        if !baseline.contains_key(name) {
+            println!("  {name}: new workload (no baseline, not gated)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench gate FAILED: {failures} workload(s) regressed or missing. \
+             If intentional, regenerate the baseline: \
+             GROM_BENCH_PROFILE=fast GROM_BENCH_JSON=BENCH_baseline.json \
+             cargo run --release -p grom-bench --bin experiments"
+        );
+        return ExitCode::from(1);
+    }
+    println!("bench gate passed ({} workloads)", baseline.len());
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shared_jsonl_format() {
+        let (name, ms) =
+            parse_line(r#"{"name":"e7d/delta/width=500","wall_ms":12.3456,"tuples":8500}"#)
+                .unwrap();
+        assert_eq!(name, "e7d/delta/width=500");
+        assert!((ms - 12.3456).abs() < 1e-9);
+        // Criterion-shim lines carry iters instead of tuples.
+        let (name, ms) =
+            parse_line(r#"{"name":"e7_chase_scalability/1000","wall_ms":3.5,"iters":20}"#).unwrap();
+        assert_eq!(name, "e7_chase_scalability/1000");
+        assert!((ms - 3.5).abs() < 1e-9);
+        // Escapes round-trip.
+        let (name, _) = parse_line(r#"{"name":"odd\"name\\","wall_ms":1}"#).unwrap();
+        assert_eq!(name, "odd\"name\\");
+        assert!(parse_line("").is_none());
+        assert!(parse_line("not json").is_none());
+    }
+
+    #[test]
+    fn repeated_records_min_merge() {
+        let dir = std::env::temp_dir().join(format!("bench_gate_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.json");
+        std::fs::write(
+            &path,
+            "{\"name\":\"w\",\"wall_ms\":9.0}\n{\"name\":\"w\",\"wall_ms\":4.0}\n\
+             {\"name\":\"w\",\"wall_ms\":6.0}\n",
+        )
+        .unwrap();
+        let records = read_records(path.to_str().unwrap()).unwrap();
+        assert_eq!(records["w"], 4.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verdicts() {
+        let cfg = GateConfig {
+            threshold: 0.25,
+            min_ms: 5.0,
+        };
+        assert_eq!(judge(100.0, Some(110.0), &cfg), Verdict::Ok);
+        assert_eq!(judge(100.0, Some(126.0), &cfg), Verdict::Regressed);
+        assert_eq!(judge(100.0, Some(60.0), &cfg), Verdict::Improved);
+        assert_eq!(judge(100.0, None, &cfg), Verdict::Missing);
+        // Sub-floor jitter never fails the gate…
+        assert_eq!(judge(1.0, Some(4.0), &cfg), Verdict::BelowNoiseFloor);
+        // …but a genuine blow-up past the floor does.
+        assert_eq!(judge(1.0, Some(50.0), &cfg), Verdict::Regressed);
+    }
+}

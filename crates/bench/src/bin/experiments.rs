@@ -3,13 +3,16 @@
 //! claim of the paper's §3–§4).
 //!
 //! Usage: `cargo run --release -p grom-bench --bin experiments [-- e4 e5]`
-//! (no arguments = run everything). `GROM_SCALE=2` doubles instance sizes.
+//! (no arguments = run everything). `GROM_SCALE=2` doubles instance sizes;
+//! `GROM_BENCH_PROFILE=fast` shrinks the expensive experiments to CI-sized
+//! tiers; `GROM_BENCH_JSON=out.json` appends one JSON line per workload
+//! (the format `bench_gate` compares against a committed baseline).
 
 use std::time::Instant;
 
 use grom::prelude::*;
 use grom_bench::workloads::*;
-use grom_bench::Table;
+use grom_bench::{record, Table};
 
 fn scale() -> usize {
     std::env::var("GROM_SCALE")
@@ -18,8 +21,22 @@ fn scale() -> usize {
         .unwrap_or(1)
 }
 
+/// The CI profile: small tiers, same workloads, same record names.
+fn fast() -> bool {
+    std::env::var("GROM_BENCH_PROFILE").as_deref() == Ok("fast")
+}
+
+/// Pick tiers for the current profile.
+fn tiers(full: &[usize], fast_tiers: &[usize]) -> Vec<usize> {
+    if fast() { fast_tiers } else { full }.to_vec()
+}
+
 fn ms(d: std::time::Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn ms_f(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
 }
 
 /// E1 — §2 + Fig. 1: the running example end to end at growing sizes.
@@ -35,7 +52,7 @@ fn e1() -> Table {
         ],
     );
     let sc = running_example_scenario();
-    for &n in &[100usize, 1_000, 10_000] {
+    for n in tiers(&[100usize, 1_000, 10_000], &[100, 1_000]) {
         let n = n * scale();
         let src = running_example_source(&RunningExampleConfig {
             products: n,
@@ -47,6 +64,11 @@ fn e1() -> Table {
             .run(&src, &PipelineOptions::default())
             .expect("pipeline succeeds");
         let elapsed = t0.elapsed();
+        record(
+            format!("e1/products={n}"),
+            ms_f(elapsed),
+            res.target.len() as u64,
+        );
         t.row(vec![
             n.to_string(),
             res.target.len().to_string(),
@@ -70,6 +92,11 @@ fn e2() -> Table {
         let out = grom::rewrite::rewrite_program(&views, &deps, &RewriteOptions::default())
             .expect("rewrite succeeds");
         let elapsed = t0.elapsed();
+        record(
+            format!("e2/views={n}/body={b}"),
+            ms_f(elapsed),
+            out.deps.len() as u64,
+        );
         t.row(vec![
             n.to_string(),
             b.to_string(),
@@ -94,6 +121,11 @@ fn e3() -> Table {
         let out = grom::rewrite::rewrite_program(&views, &deps, &RewriteOptions::default())
             .expect("rewrite succeeds");
         let elapsed = t0.elapsed();
+        record(
+            format!("e3/views={n}/negs={k}"),
+            ms_f(elapsed),
+            out.deps.len() as u64,
+        );
         let max_disj = out
             .deps
             .iter()
@@ -124,7 +156,7 @@ fn e4() -> Table {
             "greedy ms",
         ],
     );
-    for &k in &[2usize, 4, 6, 8, 10, 12] {
+    for k in tiers(&[2usize, 4, 6, 8, 10, 12], &[2, 4, 6, 8]) {
         let (deps, inst) = universal_model_workload(k);
         let t0 = Instant::now();
         let ex = grom::chase::chase_exhaustive(inst.clone(), &deps, &ChaseConfig::default())
@@ -134,6 +166,12 @@ fn e4() -> Table {
         let gr = grom::chase::chase_greedy(inst, &deps, &ChaseConfig::default())
             .expect("greedy chase succeeds");
         let gr_ms = t1.elapsed();
+        record(
+            format!("e4/exhaustive/k={k}"),
+            ms_f(ex_ms),
+            ex.solutions.len() as u64,
+        );
+        record(format!("e4/greedy/k={k}"), ms_f(gr_ms), 0);
         t.row(vec![
             k.to_string(),
             ex.solutions.len().to_string(),
@@ -158,6 +196,11 @@ fn e5() -> Table {
         let res = grom::chase::chase_greedy(inst, &deps, &ChaseConfig::default())
             .expect("greedy chase succeeds");
         let elapsed = t0.elapsed();
+        record(
+            format!("e5/frac={frac:.1}"),
+            ms_f(elapsed),
+            res.stats.scenarios_tried as u64,
+        );
         t.row(vec![
             format!("{frac:.1}"),
             res.stats.scenarios_tried.to_string(),
@@ -194,6 +237,16 @@ fn e5b() -> Table {
         let jump = grom::chase::chase_greedy_backjump(inst, &deps, &ChaseConfig::default())
             .expect("backjump greedy succeeds");
         let jump_ms = t1.elapsed();
+        record(
+            format!("e5b/plain/frac={frac:.1}"),
+            ms_f(plain_ms),
+            plain.stats.scenarios_tried as u64,
+        );
+        record(
+            format!("e5b/backjump/frac={frac:.1}"),
+            ms_f(jump_ms),
+            jump.stats.scenarios_tried as u64,
+        );
         t.row(vec![
             format!("{frac:.1}"),
             plain.stats.scenarios_tried.to_string(),
@@ -226,8 +279,9 @@ fn e6() -> Table {
                 .expect("analyze succeeds");
         let rw_ms = t0.elapsed();
 
+        let products = if fast() { 300 } else { 1_000 } * scale();
         let src = running_example_source(&RunningExampleConfig {
-            products: 1_000 * scale(),
+            products,
             stores: 20,
             seed: 42,
         });
@@ -238,6 +292,7 @@ fn e6() -> Table {
         let t1 = Instant::now();
         sc.run(&src, &opts).expect("pipeline succeeds");
         let chase_ms = t1.elapsed();
+        record(format!("e6/{name}"), ms_f(chase_ms), products as u64);
 
         t.row(vec![
             name.to_string(),
@@ -263,7 +318,7 @@ fn e7() -> Table {
         ],
     );
     let sc = running_example_scenario();
-    for &n in &[1_000usize, 5_000, 20_000, 50_000] {
+    for n in tiers(&[1_000usize, 5_000, 20_000, 50_000], &[1_000, 5_000]) {
         let n = n * scale();
         let src = running_example_source(&RunningExampleConfig {
             products: n,
@@ -277,6 +332,11 @@ fn e7() -> Table {
         let t0 = Instant::now();
         let res = sc.run(&src, &opts).expect("pipeline succeeds");
         let elapsed = t0.elapsed();
+        record(
+            format!("e7/products={n}"),
+            ms_f(elapsed),
+            res.target.len() as u64,
+        );
         let throughput = res.target.len() as f64 / elapsed.as_secs_f64();
         t.row(vec![
             n.to_string(),
@@ -284,6 +344,60 @@ fn e7() -> Table {
             res.chase_stats.rounds.to_string(),
             ms(elapsed),
             format!("{throughput:.0}"),
+        ]);
+    }
+    t
+}
+
+/// E7d — the tentpole experiment: delta-driven vs full-rescan scheduling on
+/// the reverse-declared copy chain of
+/// [`grom_bench::delta_scaling_workload`]. Both schedulers must produce
+/// identical instances; the delta scheduler must win by a growing factor.
+fn e7d() -> Table {
+    use grom::chase::{chase_standard, chase_standard_full_rescan};
+    let mut t = Table::new(
+        "E7d: delta-driven vs full-rescan chase scheduling (copy chain, depth 16)",
+        &[
+            "width",
+            "tuples",
+            "naive ms",
+            "delta ms",
+            "speedup",
+            "identical",
+        ],
+    );
+    let depth = 16;
+    for width in tiers(&[200usize, 1_000, 5_000], &[100, 500]) {
+        let width = width * scale();
+        let (deps, inst) = delta_scaling_workload(depth, width);
+        let cfg = ChaseConfig::default();
+        let t0 = Instant::now();
+        let naive = chase_standard_full_rescan(inst.clone(), &deps, &cfg)
+            .expect("full-rescan chase succeeds");
+        let naive_ms = t0.elapsed();
+        let t1 = Instant::now();
+        let delta = chase_standard(inst, &deps, &cfg).expect("delta chase succeeds");
+        let delta_ms = t1.elapsed();
+        let identical = naive.instance.to_string() == delta.instance.to_string();
+        assert!(identical, "schedulers disagree at width {width}");
+        record(
+            format!("e7d/naive/width={width}"),
+            ms_f(naive_ms),
+            naive.instance.len() as u64,
+        );
+        record(
+            format!("e7d/delta/width={width}"),
+            ms_f(delta_ms),
+            delta.instance.len() as u64,
+        );
+        let speedup = naive_ms.as_secs_f64() / delta_ms.as_secs_f64().max(1e-9);
+        t.row(vec![
+            width.to_string(),
+            delta.instance.len().to_string(),
+            ms(naive_ms),
+            ms(delta_ms),
+            format!("{speedup:.1}x"),
+            identical.to_string(),
         ]);
     }
     t
@@ -304,10 +418,19 @@ fn main() {
         ("e5b", e5b),
         ("e6", e6),
         ("e7", e7),
+        ("e7d", e7d),
     ];
     for (name, f) in experiments {
         if want(name) {
             println!("{}", f());
+        }
+    }
+    match grom_bench::flush_jsonl_env() {
+        Ok(Some(path)) => println!("bench records appended to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write bench records: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -12,9 +12,9 @@
 pub mod report;
 pub mod workloads;
 
-pub use report::Table;
+pub use report::{flush_jsonl_env, record, BenchRecord, Table, BENCH_JSON_ENV};
 pub use workloads::{
-    conjunctive_family, greedy_intricacy_attributable, greedy_intricacy_workload, negation_family,
-    restriction_pair, running_example_scenario, running_example_source, universal_model_workload,
-    RunningExampleConfig,
+    conjunctive_family, delta_scaling_workload, greedy_intricacy_attributable,
+    greedy_intricacy_workload, negation_family, restriction_pair, running_example_scenario,
+    running_example_source, universal_model_workload, RunningExampleConfig,
 };

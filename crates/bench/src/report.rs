@@ -1,6 +1,82 @@
-//! Minimal fixed-width table rendering for experiment output.
+//! Minimal fixed-width table rendering for experiment output, plus the
+//! machine-readable bench record sink shared with CI.
+//!
+//! Every quantitative row the `experiments` binary prints can also be
+//! [`record`]ed as a [`BenchRecord`]; when the `GROM_BENCH_JSON` env var
+//! names a file, [`flush_jsonl_env`] appends one JSON line per record. The
+//! vendored criterion shim emits the *same* line format behind the same
+//! env var, so criterion benches, the experiments harness and the CI
+//! regression gate (`bench_gate`) all speak one format:
+//!
+//! ```text
+//! {"name":"e7d/delta/width=5000","wall_ms":12.345,"tuples":85000}
+//! ```
 
 use std::fmt;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+
+/// Env var naming the JSONL file bench timings are appended to.
+pub const BENCH_JSON_ENV: &str = "GROM_BENCH_JSON";
+
+/// One timed workload: a stable name, the wall time, and the workload's
+/// headline tuple count (0 when not meaningful).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub name: String,
+    pub wall_ms: f64,
+    pub tuples: u64,
+}
+
+impl BenchRecord {
+    /// Serialize as one JSON line (the shared bench format).
+    pub fn to_jsonl(&self) -> String {
+        // Names are generated identifiers; escape the two JSON-significant
+        // characters anyway so the line stays well-formed.
+        let name = self.name.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "{{\"name\":\"{}\",\"wall_ms\":{:.4},\"tuples\":{}}}",
+            name, self.wall_ms, self.tuples
+        )
+    }
+}
+
+fn sink() -> &'static Mutex<Vec<BenchRecord>> {
+    static SINK: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Record one timed workload for a later [`flush_jsonl_env`].
+pub fn record(name: impl Into<String>, wall_ms: f64, tuples: u64) {
+    sink()
+        .lock()
+        .expect("bench sink poisoned")
+        .push(BenchRecord {
+            name: name.into(),
+            wall_ms,
+            tuples,
+        });
+}
+
+/// Append every recorded workload to the file named by `GROM_BENCH_JSON`,
+/// draining the sink. Returns the path written, or `None` when the env var
+/// is unset (records are dropped — the run was interactive).
+pub fn flush_jsonl_env() -> std::io::Result<Option<std::path::PathBuf>> {
+    let records: Vec<BenchRecord> =
+        std::mem::take(&mut *sink().lock().expect("bench sink poisoned"));
+    let Ok(path) = std::env::var(BENCH_JSON_ENV) else {
+        return Ok(None);
+    };
+    let path = std::path::PathBuf::from(path);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    for r in &records {
+        writeln!(f, "{}", r.to_jsonl())?;
+    }
+    Ok(Some(path))
+}
 
 /// A printable table: the `experiments` binary renders one per experiment,
 /// in the same row format EXPERIMENTS.md records.
@@ -65,6 +141,28 @@ impl fmt::Display for Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let r = BenchRecord {
+            name: "e1/products=100".into(),
+            wall_ms: 1.23456,
+            tuples: 42,
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"name":"e1/products=100","wall_ms":1.2346,"tuples":42}"#
+        );
+        let r = BenchRecord {
+            name: "odd\"name\\".into(),
+            wall_ms: 0.0,
+            tuples: 0,
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"name":"odd\"name\\","wall_ms":0.0000,"tuples":0}"#
+        );
+    }
 
     #[test]
     fn renders_markdown_style() {

@@ -1,5 +1,21 @@
 //! Chase configuration.
 
+/// How the standard chase schedules premise evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Delta-driven (semi-naive) scheduling: a trigger index routes newly
+    /// inserted tuples to the dependencies whose premises read them, and
+    /// evaluation is seeded from those deltas. Full rescans happen only on
+    /// each dependency's first activation and after egd-driven null
+    /// unifications. The default.
+    #[default]
+    Delta,
+    /// The classical loop: every round re-evaluates every premise against
+    /// the entire instance. Quadratic in rounds × instance size; kept as
+    /// the reference implementation and for A/B benchmarking.
+    FullRescan,
+}
+
 /// Budgets and knobs for the chase engine.
 ///
 /// Defaults are generous enough for every scenario in this repository; the
@@ -20,6 +36,9 @@ pub struct ChaseConfig {
     /// Maximum number of chase *steps* (single dependency applications) in
     /// one branch of the exhaustive chase.
     pub max_steps_per_branch: usize,
+    /// Premise scheduling strategy for the standard chase (and therefore for
+    /// every ded-chase scenario and exhaustive-chase node closure).
+    pub scheduler: SchedulerMode,
 }
 
 impl Default for ChaseConfig {
@@ -29,6 +48,7 @@ impl Default for ChaseConfig {
             max_scenarios: 4_096,
             max_nodes: 1_000_000,
             max_steps_per_branch: 1_000_000,
+            scheduler: SchedulerMode::default(),
         }
     }
 }
@@ -48,6 +68,12 @@ impl ChaseConfig {
 
     pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
         self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Select the premise scheduling strategy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }

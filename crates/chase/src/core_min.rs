@@ -18,7 +18,7 @@
 //! polynomial heuristic and is exact for the block-shaped redundancy the
 //! restricted chase produces in source-to-target scenarios.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use grom_data::{Instance, NullId, Tuple, Value};
@@ -134,20 +134,55 @@ fn find_fold(
     None
 }
 
+/// Incrementally repair the occurrence index after a fold, using the
+/// changed-relation report of [`Instance::substitute_nulls`] — the same
+/// delta bookkeeping the chase scheduler runs on. Occurrences in untouched
+/// relations are still valid verbatim; only the rewritten relations are
+/// rescanned, and the folded nulls disappear outright.
+fn refresh_occurrences(
+    occurrences: &mut BTreeMap<NullId, Vec<(Arc<str>, Tuple)>>,
+    inst: &Instance,
+    changed: &[Arc<str>],
+    subst: &BTreeMap<NullId, Value>,
+) {
+    let changed_set: BTreeSet<&str> = changed.iter().map(AsRef::as_ref).collect();
+    occurrences.retain(|n, entries| {
+        if subst.contains_key(n) {
+            return false; // folded away
+        }
+        entries.retain(|(rel, _)| !changed_set.contains(rel.as_ref()));
+        true
+    });
+    for name in changed {
+        let Some(rel) = inst.relation(name) else {
+            continue;
+        };
+        for tuple in rel.iter() {
+            for n in tuple.nulls() {
+                occurrences
+                    .entry(n)
+                    .or_default()
+                    .push((name.clone(), tuple.clone()));
+            }
+        }
+    }
+}
+
 /// Greedily minimize `inst` towards its core. The instance is modified in
 /// place; statistics are returned.
 pub fn core_minimize(inst: &mut Instance) -> CoreStats {
     let mut stats = CoreStats::default();
+    let mut occurrences = null_occurrences(inst);
     loop {
         stats.rounds += 1;
-        let occurrences = null_occurrences(inst);
         match find_fold(inst, &occurrences) {
             None => break,
             Some(subst) => {
                 let before = inst.len();
-                inst.substitute_nulls(|id| subst.get(&id).cloned());
+                let changed = inst.substitute_nulls(|id| subst.get(&id).cloned());
                 stats.nulls_folded += subst.len();
                 stats.tuples_removed += before - inst.len();
+                refresh_occurrences(&mut occurrences, inst, &changed, &subst);
             }
         }
     }
@@ -273,6 +308,31 @@ mod tests {
         let stats = core_minimize(&mut inst);
         assert_eq!(stats.nulls_folded, 1);
         assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn incremental_occurrence_refresh_matches_full_recompute() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![v(1), Value::null(0)]).unwrap();
+        inst.add("S", vec![Value::null(0), Value::null(1)]).unwrap();
+        inst.add("T", vec![Value::null(2)]).unwrap();
+        let mut occ = null_occurrences(&inst);
+        let subst: BTreeMap<NullId, Value> = [(NullId(0), v(7))].into();
+        let changed = inst.substitute_nulls(|id| subst.get(&id).cloned());
+        refresh_occurrences(&mut occ, &inst, &changed, &subst);
+        let full = null_occurrences(&inst);
+        // Same keys and same occurrence multisets (order may differ).
+        assert_eq!(
+            occ.keys().collect::<Vec<_>>(),
+            full.keys().collect::<Vec<_>>()
+        );
+        for (n, entries) in &full {
+            let mut a = occ[n].clone();
+            let mut b = entries.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "occurrences of {n:?}");
+        }
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   **universal model set** (Deutsch–Nash–Remmel), whose size may be
 //!   exponential in the number of violations — the blow-up experiment E4
 //!   measures, and the reason GROM defaults to the greedy strategy.
+//!
+//! Both strategies close instances under the *standard* dependencies by
+//! delegating to [`chase_standard`], so they inherit the delta-driven
+//! scheduler of [`crate::scheduler`] (or the full-rescan reference loop,
+//! per [`crate::config::SchedulerMode`]) for every scenario run and every
+//! tree-node closure.
 
 use grom_data::{Instance, NullGenerator};
 use grom_lang::{Bindings, Dependency};
@@ -283,11 +289,7 @@ pub fn chase_exhaustive(
         // 1. Close under standard dependencies.
         let inst = match chase_standard(inst, &standard, config) {
             Ok(res) => {
-                stats.rounds += res.stats.rounds;
-                stats.tgd_applications += res.stats.tgd_applications;
-                stats.tuples_inserted += res.stats.tuples_inserted;
-                stats.nulls_invented += res.stats.nulls_invented;
-                stats.egd_merges += res.stats.egd_merges;
+                stats.absorb(&res.stats);
                 res.instance
             }
             Err(ChaseError::Failure { .. }) => {

@@ -3,7 +3,7 @@
 //! The execution half of Figure 2 of the paper: given a source instance and
 //! the *rewritten* dependencies produced by `grom-rewrite`, generate a
 //! target instance. This is the module the paper borrows from the Llunatic
-//! project [5]; here it is a native in-memory engine with the same
+//! project \[5\]; here it is a native in-memory engine with the same
 //! semantics.
 //!
 //! * [`standard`] — the restricted chase for tgds, egds and denial
@@ -20,21 +20,31 @@
 //! * [`wa`] — weak-acyclicity analysis of the position graph, the classical
 //!   sufficient condition for chase termination; non-weakly-acyclic
 //!   programs run under the round budget of [`ChaseConfig`].
+//! * [`trigger`] / [`scheduler`] — the delta-driven (semi-naive) scheduler
+//!   that all chase variants run on by default: a static trigger index
+//!   routes newly inserted tuples to the dependencies whose premises read
+//!   them, and premise evaluation is seeded from those deltas instead of
+//!   rescanning the whole instance every round (see
+//!   [`config::SchedulerMode`]).
 
 pub mod config;
 pub mod core_min;
 pub mod ded;
 pub mod nullmap;
 pub mod result;
+pub mod scheduler;
 pub mod standard;
+pub mod trigger;
 pub mod wa;
 
-pub use config::ChaseConfig;
+pub use config::{ChaseConfig, SchedulerMode};
 pub use core_min::{core_minimize, CoreStats};
 pub use ded::{
     chase_exhaustive, chase_greedy, chase_greedy_backjump, chase_with_deds, ExhaustiveResult,
 };
 pub use nullmap::NullMap;
 pub use result::{ChaseError, ChaseResult, ChaseStats};
-pub use standard::chase_standard;
+pub use scheduler::Scheduler;
+pub use standard::{chase_standard, chase_standard_full_rescan};
+pub use trigger::TriggerIndex;
 pub use wa::{is_weakly_acyclic, WeakAcyclicityReport};

@@ -29,6 +29,14 @@ pub struct ChaseStats {
     pub leaves: usize,
     /// Exhaustive ded chase: branches pruned by failure.
     pub branches_failed: usize,
+    /// Delta scheduler: dependency activations that evaluated the premise
+    /// against the full instance (first activations and post-merge
+    /// invalidations).
+    pub full_rescans: usize,
+    /// Delta scheduler: dependency activations seeded from delta tuples.
+    pub delta_activations: usize,
+    /// Delta scheduler: total delta tuples used to seed premise evaluation.
+    pub delta_tuples_seeded: usize,
 }
 
 impl ChaseStats {
@@ -44,6 +52,9 @@ impl ChaseStats {
         self.nodes_expanded += other.nodes_expanded;
         self.leaves += other.leaves;
         self.branches_failed += other.branches_failed;
+        self.full_rescans += other.full_rescans;
+        self.delta_activations += other.delta_activations;
+        self.delta_tuples_seeded += other.delta_tuples_seeded;
     }
 }
 
@@ -52,7 +63,8 @@ impl fmt::Display for ChaseStats {
         write!(
             f,
             "rounds={} tgd_apps={} inserted={} nulls={} merges={} \
-             scenarios={}(failed {}) nodes={} leaves={}",
+             scenarios={}(failed {}) nodes={} leaves={} \
+             rescans={} delta_acts={}",
             self.rounds,
             self.tgd_applications,
             self.tuples_inserted,
@@ -61,7 +73,9 @@ impl fmt::Display for ChaseStats {
             self.scenarios_tried,
             self.scenarios_failed,
             self.nodes_expanded,
-            self.leaves
+            self.leaves,
+            self.full_rescans,
+            self.delta_activations
         )
     }
 }

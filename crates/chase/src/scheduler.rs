@@ -1,0 +1,293 @@
+//! The delta-driven (semi-naive) chase scheduler.
+//!
+//! The classical chase loop re-evaluates every dependency's premise against
+//! the *entire* instance each round, so its cost grows with rounds ×
+//! instance size even when a round changes almost nothing. This module
+//! replaces that loop with a worklist of `(dependency, delta)` pairs:
+//!
+//! * a static [`TriggerIndex`] maps each relation to the dependencies whose
+//!   premise reads it;
+//! * the instance records the tuples each repair batch inserts (the
+//!   [`DeltaLog`] of `grom-data`);
+//! * premise evaluation is seeded from the delta tuples only
+//!   ([`grom_engine::evaluate_body_from_delta`] anchors one premise atom to
+//!   a delta tuple and joins the rest against the full instance).
+//!
+//! Full premise rescans remain in exactly two places, both required for
+//! correctness: every dependency's **first** activation (the initial
+//! instance is one big delta), and after an **egd-driven null unification**
+//! (substitution rewrites tuples in place, so recorded deltas go stale —
+//! [`Scheduler::invalidate_all`]).
+//!
+//! The scheduler is shared by every chase variant: [`crate::standard`] runs
+//! it directly, the greedy and exhaustive ded chases of [`crate::ded`] run
+//! their per-scenario / per-node closures through it, and
+//! [`crate::core_min`] reuses the same changed-relation reporting to keep
+//! its null-occurrence index incremental.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use grom_data::{DeltaLog, Instance, NullGenerator, Tuple};
+use grom_lang::{Bindings, Dependency, Var};
+
+use grom_engine::{disjunct_satisfied, evaluate_body_from_delta, Control};
+
+use crate::config::ChaseConfig;
+use crate::nullmap::NullMap;
+use crate::result::{ChaseError, ChaseResult, ChaseStats};
+use crate::standard::{apply_disjunct, check_executable, collect_violations, resolve_bindings};
+use crate::trigger::TriggerIndex;
+
+/// Pending work for one dependency.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// Nothing new since the premise was last evaluated.
+    Idle,
+    /// Evaluate the premise against the full instance (first activation, or
+    /// after a null unification invalidated the deltas).
+    Full,
+    /// Evaluate seeded from these per-relation delta tuples only.
+    Delta(BTreeMap<Arc<str>, Vec<Tuple>>),
+}
+
+/// The worklist: per-dependency pending state plus the trigger index that
+/// routes deltas to dependencies.
+#[derive(Debug)]
+pub struct Scheduler {
+    triggers: TriggerIndex,
+    pending: Vec<Pending>,
+}
+
+impl Scheduler {
+    /// A scheduler over `deps`, with every dependency initially scheduled
+    /// for a full scan (round one of the classical chase).
+    pub fn new(deps: &[Dependency]) -> Self {
+        Self {
+            triggers: TriggerIndex::build(deps),
+            pending: vec![Pending::Full; deps.len()],
+        }
+    }
+
+    /// Is any dependency scheduled?
+    pub fn has_work(&self) -> bool {
+        !self.pending.iter().all(|p| matches!(p, Pending::Idle))
+    }
+
+    /// Claim dependency `k`'s pending work, leaving it idle.
+    fn take(&mut self, k: usize) -> Pending {
+        std::mem::replace(&mut self.pending[k], Pending::Idle)
+    }
+
+    /// Route a batch of newly inserted tuples to the dependencies their
+    /// relations trigger.
+    pub fn post(&mut self, delta: &DeltaLog) {
+        debug_assert!(!delta.invalidated(), "stale deltas must invalidate");
+        for (rel, tuples) in delta.relations() {
+            for &k in self.triggers.triggered_by(rel) {
+                match &mut self.pending[k] {
+                    Pending::Full => {}
+                    Pending::Delta(map) => {
+                        map.entry(rel.clone())
+                            .or_default()
+                            .extend(tuples.iter().cloned());
+                    }
+                    slot @ Pending::Idle => {
+                        let mut map = BTreeMap::new();
+                        map.insert(rel.clone(), tuples.to_vec());
+                        *slot = Pending::Delta(map);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schedule every dependency for a full rescan (deltas went stale after
+    /// a null substitution).
+    pub fn invalidate_all(&mut self) {
+        for p in &mut self.pending {
+            *p = Pending::Full;
+        }
+    }
+}
+
+/// Violating premise matches of `dep` seeded from per-relation deltas,
+/// deduplicated across anchor positions, in deterministic order. With
+/// `stop_at_first` (denials) at most one match is returned.
+fn delta_violations(
+    inst: &Instance,
+    dep: &Dependency,
+    delta: &BTreeMap<Arc<str>, Vec<Tuple>>,
+    stop_at_first: bool,
+) -> Vec<Bindings> {
+    let mut seen: BTreeSet<Vec<(Var, grom_data::Value)>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (rel, tuples) in delta {
+        evaluate_body_from_delta(inst, &dep.premise, rel, tuples, |b| {
+            if !dep.disjuncts.iter().any(|d| disjunct_satisfied(inst, d, b)) {
+                let key: Vec<_> = b.iter().map(|(v, val)| (v.clone(), val.clone())).collect();
+                if seen.insert(key) {
+                    out.push(b.clone());
+                    if stop_at_first {
+                        return Control::Stop;
+                    }
+                }
+            }
+            Control::Continue
+        });
+        if stop_at_first && !out.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+/// The delta-driven standard chase: same semantics and failure modes as
+/// [`crate::standard::chase_standard_full_rescan`], driven by the
+/// [`Scheduler`] worklist instead of full per-round rescans.
+pub(crate) fn chase_standard_delta(
+    start: Instance,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseResult, ChaseError> {
+    for dep in deps {
+        check_executable(dep, false)?;
+    }
+
+    let mut inst = start;
+    let mut stats = ChaseStats::default();
+    let mut nullgen = NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
+    let mut nullmap = NullMap::new();
+    let mut sched = Scheduler::new(deps);
+    inst.begin_delta_tracking();
+
+    loop {
+        if stats.rounds >= config.max_rounds {
+            return Err(ChaseError::RoundLimit {
+                rounds: stats.rounds,
+            });
+        }
+        stats.rounds += 1;
+        if !sched.has_work() {
+            break;
+        }
+
+        for (k, dep) in deps.iter().enumerate() {
+            let violations = match sched.take(k) {
+                Pending::Idle => continue,
+                Pending::Full => {
+                    stats.full_rescans += 1;
+                    if dep.is_denial() {
+                        if let Some(v) = grom_engine::find_violation(&inst, dep) {
+                            return Err(ChaseError::Failure {
+                                dependency: dep.name.clone(),
+                                detail: format!("denial premise matched at {}", v.bindings),
+                            });
+                        }
+                        continue;
+                    }
+                    collect_violations(&inst, dep)
+                }
+                Pending::Delta(map) => {
+                    stats.delta_activations += 1;
+                    stats.delta_tuples_seeded += map.values().map(Vec::len).sum::<usize>();
+                    let vs = delta_violations(&inst, dep, &map, dep.is_denial());
+                    if dep.is_denial() {
+                        if let Some(b) = vs.first() {
+                            return Err(ChaseError::Failure {
+                                dependency: dep.name.clone(),
+                                detail: format!("denial premise matched at {b}"),
+                            });
+                        }
+                        continue;
+                    }
+                    vs
+                }
+            };
+            if violations.is_empty() {
+                continue;
+            }
+
+            let mut any_merge = false;
+            for b in &violations {
+                let b = resolve_bindings(b, &mut nullmap);
+                // Re-check under the resolved bindings: earlier repairs in
+                // this batch may already satisfy the match (exactly as in
+                // the full-rescan loop).
+                if disjunct_satisfied(&inst, &dep.disjuncts[0], &b) {
+                    continue;
+                }
+                let merged = apply_disjunct(
+                    &mut inst,
+                    dep,
+                    0,
+                    &b,
+                    &mut nullmap,
+                    &mut nullgen,
+                    &mut stats,
+                )?;
+                any_merge |= merged;
+            }
+
+            let log = inst.take_delta();
+            if any_merge {
+                // Null unification rewrites tuples in place: the logged
+                // deltas (and everything previously routed) are stale.
+                inst.substitute_nulls(|id| nullmap.lookup(id));
+                inst.take_delta(); // discard the invalidation marker
+                sched.invalidate_all();
+            } else if !log.is_empty() {
+                sched.post(&log);
+            }
+        }
+    }
+
+    inst.end_delta_tracking();
+    Ok(ChaseResult {
+        instance: inst,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_data::Value;
+    use grom_lang::parser::parse_program;
+
+    #[test]
+    fn scheduler_routes_deltas_by_trigger() {
+        let p = parse_program(
+            "tgd a: S(x) -> A(x).\n\
+             tgd b: A(x) -> B(x).",
+        )
+        .unwrap();
+        let mut sched = Scheduler::new(&p.deps);
+        assert!(sched.has_work()); // everything starts Full
+
+        // Drain the initial Full work.
+        for k in 0..p.deps.len() {
+            sched.take(k);
+        }
+        assert!(!sched.has_work());
+
+        // A delta on A wakes only dependency b.
+        let mut inst = Instance::new();
+        inst.begin_delta_tracking();
+        inst.add("A", vec![Value::int(1)]).unwrap();
+        let log = inst.take_delta();
+        sched.post(&log);
+        assert!(matches!(sched.take(0), Pending::Idle));
+        assert!(matches!(sched.take(1), Pending::Delta(_)));
+    }
+
+    #[test]
+    fn invalidation_reschedules_everything_full() {
+        let p = parse_program("tgd a: S(x) -> A(x).").unwrap();
+        let mut sched = Scheduler::new(&p.deps);
+        sched.take(0);
+        assert!(!sched.has_work());
+        sched.invalidate_all();
+        assert!(matches!(sched.take(0), Pending::Full));
+    }
+}

@@ -154,7 +154,34 @@ fn eval_bound_term(t: &Term, bindings: &Bindings, dep: &Dependency) -> Result<Va
 /// `start` is the working database: for data-exchange scenarios this is the
 /// source instance (the chase adds target tuples into the same instance;
 /// source and target relation names are disjoint by construction).
+///
+/// Dispatches on [`ChaseConfig::scheduler`]: the default delta-driven
+/// scheduler ([`crate::scheduler`]) seeds premise evaluation from the
+/// tuples inserted since each dependency was last checked; the legacy
+/// full-rescan loop re-evaluates every premise against the whole instance
+/// each round. Both produce the same solutions (up to the usual renaming of
+/// labeled nulls) and the same failure modes.
 pub fn chase_standard(
+    start: Instance,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseResult, ChaseError> {
+    match config.scheduler {
+        crate::config::SchedulerMode::Delta => {
+            crate::scheduler::chase_standard_delta(start, deps, config)
+        }
+        crate::config::SchedulerMode::FullRescan => chase_standard_full_rescan(start, deps, config),
+    }
+}
+
+/// The classical round-based chase loop: every round re-evaluates every
+/// dependency's premise against the entire instance. Kept as the reference
+/// implementation (the delta scheduler must agree with it — see the
+/// `property_delta` suite and the `e7_delta_scaling` bench) and as the
+/// explicit [`SchedulerMode::FullRescan`] escape hatch.
+///
+/// [`SchedulerMode::FullRescan`]: crate::config::SchedulerMode::FullRescan
+pub fn chase_standard_full_rescan(
     start: Instance,
     deps: &[Dependency],
     config: &ChaseConfig,

@@ -1,0 +1,92 @@
+//! Static trigger indexing for the delta-driven chase scheduler.
+//!
+//! The premise of a dependency can only gain new matches when a relation it
+//! reads gains new tuples. The [`TriggerIndex`] precomputes, for every
+//! relation name appearing in a positive premise literal, the set of
+//! dependencies it *triggers* — so the scheduler can route per-relation
+//! deltas straight to the dependencies that might care, instead of
+//! re-evaluating every premise against the whole instance each round.
+//!
+//! Negated premise literals are deliberately excluded: the executable
+//! fragment the chase accepts has no premise negation (the rewriter
+//! eliminates it first; see [`crate::standard`]), and negation is
+//! anti-monotone anyway — new tuples can only *remove* matches, never
+//! create violations through a negated literal.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use grom_lang::{Dependency, Literal};
+
+/// Relation name → indices of the dependencies whose premise mentions it
+/// positively.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerIndex {
+    by_relation: HashMap<Arc<str>, Vec<usize>>,
+}
+
+impl TriggerIndex {
+    /// Build the index for `deps`; dependency `k` is triggered by every
+    /// relation named in a positive literal of `deps[k].premise`.
+    pub fn build(deps: &[Dependency]) -> Self {
+        let mut by_relation: HashMap<Arc<str>, Vec<usize>> = HashMap::new();
+        for (k, dep) in deps.iter().enumerate() {
+            for lit in &dep.premise {
+                if let Literal::Pos(a) = lit {
+                    let slot = by_relation.entry(a.predicate.clone()).or_default();
+                    // Premises may mention a relation twice (self-joins);
+                    // one trigger entry suffices.
+                    if slot.last() != Some(&k) {
+                        slot.push(k);
+                    }
+                }
+            }
+        }
+        Self { by_relation }
+    }
+
+    /// The dependencies triggered by new tuples in `relation`, in
+    /// dependency order (possibly empty).
+    pub fn triggered_by(&self, relation: &str) -> &[usize] {
+        self.by_relation
+            .get(relation)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct triggering relations.
+    pub fn relation_count(&self) -> usize {
+        self.by_relation.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_lang::parser::parse_program;
+
+    #[test]
+    fn premise_relations_trigger_their_dependencies() {
+        let p = parse_program(
+            "tgd a: S(x), R(x, y) -> T(x).\n\
+             tgd b: R(x, y) -> U(y).\n\
+             egd e: T(x), U(x) -> x = x.",
+        )
+        .unwrap();
+        let ix = TriggerIndex::build(&p.deps);
+        assert_eq!(ix.triggered_by("S"), &[0]);
+        assert_eq!(ix.triggered_by("R"), &[0, 1]);
+        assert_eq!(ix.triggered_by("T"), &[2]);
+        assert_eq!(ix.triggered_by("U"), &[2]);
+        // Conclusion-only relations trigger nothing.
+        assert!(ix.triggered_by("Absent").is_empty());
+        assert_eq!(ix.relation_count(), 4);
+    }
+
+    #[test]
+    fn self_joins_register_once() {
+        let p = parse_program("egd e: T(x, a), T(x, b) -> a = b.").unwrap();
+        let ix = TriggerIndex::build(&p.deps);
+        assert_eq!(ix.triggered_by("T"), &[0]);
+    }
+}

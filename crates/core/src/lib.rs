@@ -60,7 +60,7 @@ pub mod prelude {
     pub use crate::pipeline::{ExchangeResult, PipelineError, PipelineOptions};
     pub use crate::scenario::MappingScenario;
     pub use crate::validate::{validate_solution, ValidationReport};
-    pub use grom_chase::{ChaseConfig, ChaseError, ChaseStats};
+    pub use grom_chase::{ChaseConfig, ChaseError, ChaseStats, SchedulerMode};
     pub use grom_data::{Fact, Instance, Schema, Tuple, Value};
     pub use grom_lang::{Atom, DepClass, Dependency, Literal, Program, Term, ViewSet};
     pub use grom_rewrite::{analyze, RestrictionReport, RewriteOptions, RewriteOutput};

@@ -39,6 +39,9 @@ pub struct ExchangeResult {
     /// The extents of the source views (empty when there is no source
     /// semantic schema).
     pub source_view_extents: Instance,
+    /// Per-view tuple counts of the source materialization (the deltas
+    /// reported by [`grom_engine::materialize_views_tracked`]).
+    pub source_view_counts: std::collections::BTreeMap<std::sync::Arc<str>, usize>,
     /// The rewritten program and its diagnostics.
     pub rewritten: RewriteOutput,
     /// Termination analysis of the rewritten program.
@@ -134,7 +137,9 @@ impl MappingScenario {
 
         // 1. Materialize the source semantic schema (if any) and extend the
         //    working database with its extents.
-        let source_view_extents = grom_engine::materialize_views(&self.source_views, source)?;
+        let materialized = grom_engine::materialize_views_tracked(&self.source_views, source)?;
+        let source_view_extents = materialized.extents;
+        let source_view_counts = materialized.per_view;
         let mut working = source.clone();
         working.absorb(&source_view_extents)?;
 
@@ -171,6 +176,7 @@ impl MappingScenario {
         Ok(ExchangeResult {
             target,
             source_view_extents,
+            source_view_counts,
             rewritten,
             wa_report,
             chase_stats: result.stats,
@@ -346,6 +352,53 @@ mod tests {
         assert_eq!(rich.len(), 1);
         assert_eq!(rich[0].get(0), Some(&Value::str("ann")));
         assert!(res.validation.unwrap().ok);
+    }
+
+    #[test]
+    fn source_view_counts_reported() {
+        let prog = Program::parse(
+            r#"
+            schema source { S_Emp(name: string, salary: int); }
+            schema target { T_Rich(name: string); }
+            view RichEmp(n) <- S_Emp(n, s), s > 100.
+            tgd m: RichEmp(n) -> T_Rich(n).
+            "#,
+        )
+        .unwrap();
+        let sc = MappingScenario::from_program(&prog).unwrap();
+        let mut source = Instance::new();
+        source
+            .add("S_Emp", vec![Value::str("ann"), Value::int(200)])
+            .unwrap();
+        source
+            .add("S_Emp", vec![Value::str("cyn"), Value::int(300)])
+            .unwrap();
+        let res = sc.run(&source, &PipelineOptions::default()).unwrap();
+        assert_eq!(res.source_view_counts["RichEmp"], 2);
+    }
+
+    #[test]
+    fn full_rescan_scheduler_agrees_with_delta_default() {
+        use grom_chase::SchedulerMode;
+        let sc = paper_scenario();
+        let delta = sc
+            .run(&paper_source(), &PipelineOptions::default())
+            .unwrap();
+        let naive_opts = PipelineOptions {
+            chase: ChaseConfig::default().with_scheduler(SchedulerMode::FullRescan),
+            ..Default::default()
+        };
+        let naive = sc.run(&paper_source(), &naive_opts).unwrap();
+        assert!(delta.validation.unwrap().ok);
+        assert!(naive.validation.unwrap().ok);
+        // Identical targets up to null relabeling.
+        assert_eq!(
+            grom_data::canonical_render(&delta.target),
+            grom_data::canonical_render(&naive.target)
+        );
+        // The delta run actually exercised delta scheduling.
+        assert!(delta.chase_stats.delta_activations > 0);
+        assert_eq!(naive.chase_stats.delta_activations, 0);
     }
 
     #[test]

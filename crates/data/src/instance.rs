@@ -167,10 +167,55 @@ impl Relation {
     }
 }
 
+/// A log of tuples inserted into an [`Instance`] while delta tracking is
+/// enabled, grouped by relation.
+///
+/// This is the bookkeeping half of the delta-driven (semi-naive) chase
+/// scheduler in `grom-chase`: after a batch of repairs, the scheduler
+/// drains the log with [`Instance::take_delta`] and feeds the new tuples —
+/// and only those — back into premise evaluation. Null substitution
+/// rewrites tuples in place, so [`Instance::substitute_nulls`] marks the
+/// log *invalidated* instead of trying to track the rewrite; consumers
+/// must fall back to a full rescan.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaLog {
+    tuples: BTreeMap<Arc<str>, Vec<Tuple>>,
+    invalidated: bool,
+}
+
+impl DeltaLog {
+    /// No new tuples and not invalidated?
+    pub fn is_empty(&self) -> bool {
+        !self.invalidated && self.tuples.is_empty()
+    }
+
+    /// Total number of logged tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.values().map(Vec::len).sum()
+    }
+
+    /// Was the log invalidated by a null substitution? Logged tuples may be
+    /// stale; consumers must fall back to a full rescan.
+    pub fn invalidated(&self) -> bool {
+        self.invalidated
+    }
+
+    /// The logged tuples, grouped by relation (sorted by name).
+    pub fn relations(&self) -> impl Iterator<Item = (&Arc<str>, &[Tuple])> {
+        self.tuples.iter().map(|(name, ts)| (name, ts.as_slice()))
+    }
+
+    fn record(&mut self, relation: &Arc<str>, tuple: Tuple) {
+        self.tuples.entry(relation.clone()).or_default().push(tuple);
+    }
+}
+
 /// A database instance: relation name → [`Relation`].
 #[derive(Debug, Clone, Default)]
 pub struct Instance {
     relations: BTreeMap<Arc<str>, Relation>,
+    /// Delta log, present only while tracking is enabled.
+    delta: Option<DeltaLog>,
 }
 
 impl Instance {
@@ -194,10 +239,47 @@ impl Instance {
 
     /// Insert a tuple into `relation`; returns whether it was new.
     pub fn insert(&mut self, relation: &Arc<str>, tuple: Tuple) -> Result<bool, DataError> {
-        self.relations
-            .entry(relation.clone())
-            .or_default()
-            .insert(relation, tuple)
+        let rel = self.relations.entry(relation.clone()).or_default();
+        let Some(delta) = &mut self.delta else {
+            return rel.insert(relation, tuple);
+        };
+        // With tracking on, duplicates are the common case on the chase's
+        // hot path (re-derivations); skip the log clone for them.
+        if rel.contains(&tuple) {
+            return Ok(false);
+        }
+        let logged = tuple.clone();
+        let new = rel.insert(relation, tuple)?;
+        if new {
+            delta.record(relation, logged);
+        }
+        Ok(new)
+    }
+
+    /// Start recording newly inserted tuples into a [`DeltaLog`]. Clears any
+    /// previous log. Tracking stays on until [`Instance::end_delta_tracking`].
+    pub fn begin_delta_tracking(&mut self) {
+        self.delta = Some(DeltaLog::default());
+    }
+
+    /// Drain the current delta log, leaving tracking enabled with a fresh
+    /// empty log. Returns an empty log when tracking is off.
+    pub fn take_delta(&mut self) -> DeltaLog {
+        match &mut self.delta {
+            Some(delta) => std::mem::take(delta),
+            None => DeltaLog::default(),
+        }
+    }
+
+    /// Stop delta tracking and return the final log (empty if tracking was
+    /// never enabled).
+    pub fn end_delta_tracking(&mut self) -> DeltaLog {
+        self.delta.take().unwrap_or_default()
+    }
+
+    /// Is delta tracking currently enabled?
+    pub fn is_delta_tracking(&self) -> bool {
+        self.delta.is_some()
     }
 
     /// Convenience insert with a `&str` relation name and raw values.
@@ -281,12 +363,19 @@ impl Instance {
 
     /// Apply a null substitution everywhere, rebuilding every touched
     /// relation. Tuples that become equal after substitution are merged.
+    /// Returns the names of the relations that were rewritten.
     ///
     /// This is the instance-level half of egd enforcement: the chase decides
     /// which labels map to which values (union-find in `grom-chase`) and
-    /// calls this to normalize the instance.
-    pub fn substitute_nulls(&mut self, mut lookup: impl FnMut(NullId) -> Option<Value>) {
+    /// calls this to normalize the instance. Because rewritten tuples may
+    /// alias tuples a [`DeltaLog`] recorded earlier, any active delta log is
+    /// marked invalidated when a relation changes.
+    pub fn substitute_nulls(
+        &mut self,
+        mut lookup: impl FnMut(NullId) -> Option<Value>,
+    ) -> Vec<Arc<str>> {
         let names: Vec<Arc<str>> = self.relations.keys().cloned().collect();
+        let mut changed = Vec::new();
         for name in names {
             let rel = &self.relations[&name];
             // Fast path: skip relations where nothing changes.
@@ -301,8 +390,15 @@ impl Instance {
                     .insert(&name, nt)
                     .expect("substitution preserves arity");
             }
-            self.relations.insert(name, rebuilt);
+            self.relations.insert(name.clone(), rebuilt);
+            changed.push(name);
         }
+        if !changed.is_empty() {
+            if let Some(delta) = &mut self.delta {
+                delta.invalidated = true;
+            }
+        }
+        changed
     }
 }
 
@@ -434,6 +530,49 @@ mod tests {
         inst.add("R", vec![Value::null(3), Value::null(11)])
             .unwrap();
         assert_eq!(inst.max_null_label(), Some(11));
+    }
+
+    #[test]
+    fn delta_tracking_records_new_tuples_only() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![v(1)]).unwrap();
+        assert!(!inst.is_delta_tracking());
+        assert!(inst.take_delta().is_empty());
+
+        inst.begin_delta_tracking();
+        inst.add("R", vec![v(1)]).unwrap(); // duplicate: not logged
+        inst.add("R", vec![v(2)]).unwrap();
+        inst.add("S", vec![v(3)]).unwrap();
+        let delta = inst.take_delta();
+        assert_eq!(delta.len(), 2);
+        let rels: Vec<&str> = delta.relations().map(|(n, _)| n.as_ref()).collect();
+        assert_eq!(rels, vec!["R", "S"]);
+
+        // Draining leaves tracking on with a fresh log.
+        assert!(inst.is_delta_tracking());
+        assert!(inst.take_delta().is_empty());
+        inst.add("R", vec![v(4)]).unwrap();
+        let delta = inst.end_delta_tracking();
+        assert_eq!(delta.len(), 1);
+        assert!(!inst.is_delta_tracking());
+    }
+
+    #[test]
+    fn substitution_invalidates_delta_and_reports_changed_relations() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![Value::null(0), v(5)]).unwrap();
+        inst.add("S", vec![v(1)]).unwrap();
+        inst.begin_delta_tracking();
+        let changed = inst.substitute_nulls(|id| (id == NullId(0)).then(|| v(3)));
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].as_ref(), "R");
+        let delta = inst.take_delta();
+        assert!(delta.invalidated());
+        assert!(!delta.is_empty());
+        // A no-op substitution neither changes relations nor invalidates.
+        let changed = inst.substitute_nulls(|_| None);
+        assert!(changed.is_empty());
+        assert!(!inst.take_delta().invalidated());
     }
 
     #[test]

@@ -173,6 +173,96 @@ pub fn write_instance(inst: &Instance) -> String {
     out
 }
 
+/// Render an instance in a form that is stable under null relabeling and
+/// insertion-order differences: facts are serialized with null labels
+/// replaced by *canonical ranks* and the lines sorted.
+///
+/// Two chase runs that produce the same instance up to a renaming of
+/// labeled nulls (the usual notion of equality for universal solutions)
+/// render identically; instances that differ structurally render
+/// differently except for pathological automorphism cases. Ranks are
+/// computed by iterated partition refinement on each null's occurrence
+/// signature (relation, column, co-occurring values), so nulls are
+/// distinguished by their join structure, not by their labels.
+pub fn canonical_render(inst: &Instance) -> String {
+    use crate::value::NullId;
+    use std::collections::BTreeMap;
+
+    let facts: Vec<_> = inst.facts().collect();
+    let nulls: Vec<NullId> = {
+        let mut set: std::collections::BTreeSet<NullId> = Default::default();
+        for f in &facts {
+            set.extend(f.tuple.nulls());
+        }
+        set.into_iter().collect()
+    };
+
+    // rank[n]: canonical equivalence class of null n, refined iteratively.
+    let mut rank: BTreeMap<NullId, usize> = nulls.iter().map(|&n| (n, 0)).collect();
+    let render_value = |v: &Value, rank: &BTreeMap<NullId, usize>| match v.as_null() {
+        Some(n) => format!("?{}", rank[&n]),
+        None => v.to_string(),
+    };
+    for _ in 0..=nulls.len() {
+        // Signature of each null under the current ranking: the sorted list
+        // of its occurrence contexts.
+        let mut sig: BTreeMap<NullId, Vec<String>> =
+            nulls.iter().map(|&n| (n, Vec::new())).collect();
+        for f in &facts {
+            for (col, v) in f.tuple.values().iter().enumerate() {
+                if let Some(n) = v.as_null() {
+                    let ctx: Vec<String> = f
+                        .tuple
+                        .values()
+                        .iter()
+                        .map(|w| render_value(w, &rank))
+                        .collect();
+                    sig.get_mut(&n).expect("null collected above").push(format!(
+                        "{}#{col}({})",
+                        f.relation,
+                        ctx.join(",")
+                    ));
+                }
+            }
+        }
+        let mut keyed: Vec<(Vec<String>, NullId)> = sig
+            .into_iter()
+            .map(|(n, mut s)| {
+                s.sort();
+                (s, n)
+            })
+            .collect();
+        keyed.sort();
+        let mut next = BTreeMap::new();
+        let mut class = 0usize;
+        for (i, (s, n)) in keyed.iter().enumerate() {
+            if i > 0 && *s != keyed[i - 1].0 {
+                class += 1;
+            }
+            next.insert(*n, class);
+        }
+        if next == rank {
+            break;
+        }
+        rank = next;
+    }
+
+    let mut lines: Vec<String> = facts
+        .iter()
+        .map(|f| {
+            let vals: Vec<String> = f
+                .tuple
+                .values()
+                .iter()
+                .map(|v| render_value(v, &rank))
+                .collect();
+            format!("{}({})", f.relation, vals.join(","))
+        })
+        .collect();
+    lines.sort();
+    lines.join("\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +340,39 @@ mod tests {
     fn arity_drift_detected() {
         let err = read_instance("R(1).\nR(1, 2).").unwrap_err();
         assert!(matches!(err, ReadError::Data(_)));
+    }
+
+    #[test]
+    fn canonical_render_is_null_renaming_invariant() {
+        // Same structure, different labels and insertion order.
+        let mut a = Instance::new();
+        a.add("T", vec![Value::int(1), Value::null(0)]).unwrap();
+        a.add("U", vec![Value::null(0), Value::null(7)]).unwrap();
+        let mut b = Instance::new();
+        b.add("U", vec![Value::null(3), Value::null(1)]).unwrap();
+        b.add("T", vec![Value::int(1), Value::null(3)]).unwrap();
+        assert_eq!(canonical_render(&a), canonical_render(&b));
+    }
+
+    #[test]
+    fn canonical_render_distinguishes_join_structure() {
+        // a: the same null links T and U; b: two unrelated nulls.
+        let mut a = Instance::new();
+        a.add("T", vec![Value::null(0)]).unwrap();
+        a.add("U", vec![Value::null(0)]).unwrap();
+        let mut b = Instance::new();
+        b.add("T", vec![Value::null(0)]).unwrap();
+        b.add("U", vec![Value::null(1)]).unwrap();
+        assert_ne!(canonical_render(&a), canonical_render(&b));
+    }
+
+    #[test]
+    fn canonical_render_counts_duplicated_shapes() {
+        let mut a = Instance::new();
+        a.add("T", vec![Value::null(0)]).unwrap();
+        a.add("T", vec![Value::null(1)]).unwrap();
+        let mut b = Instance::new();
+        b.add("T", vec![Value::null(0)]).unwrap();
+        assert_ne!(canonical_render(&a), canonical_render(&b));
     }
 }

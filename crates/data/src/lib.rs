@@ -29,8 +29,8 @@ pub mod tuple;
 pub mod value;
 
 pub use error::DataError;
-pub use instance::{Instance, Relation};
-pub use io::{read_instance, write_instance, ReadError};
+pub use instance::{DeltaLog, Instance, Relation};
+pub use io::{canonical_render, read_instance, write_instance, ReadError};
 pub use schema::{ColumnSchema, ColumnType, RelationSchema, Schema};
 pub use tuple::{Fact, Tuple};
 pub use value::{NullGenerator, NullId, Value};

@@ -74,6 +74,64 @@ pub fn evaluate_body_streaming(
     solve(db, &mut remaining, &mut bindings, &bindable, &mut visit);
 }
 
+/// Delta-seeded (semi-naive) evaluation: enumerate solutions of `body` that
+/// use at least one tuple of `delta_tuples` in a positive atom over
+/// `delta_relation`.
+///
+/// For every positive atom whose predicate is `delta_relation`, each delta
+/// tuple is bound to that atom (the *anchor*) and the remaining literals
+/// are joined against the full database. This is the entry point of the
+/// delta-driven chase scheduler in `grom-chase`: instead of rescanning a
+/// dependency's premise against the whole instance every round, the
+/// scheduler seeds evaluation from the tuples inserted since the premise
+/// was last checked.
+///
+/// A solution that uses delta tuples in *several* anchor positions is
+/// enumerated once per anchor; callers that need set semantics must
+/// deduplicate (the chase scheduler does).
+pub fn evaluate_body_from_delta(
+    db: &impl Db,
+    body: &[Literal],
+    delta_relation: &str,
+    delta_tuples: &[grom_data::Tuple],
+    mut visit: impl FnMut(&Bindings) -> Control,
+) {
+    let mut bindable: BTreeSet<Var> = BTreeSet::new();
+    for lit in body {
+        if let Literal::Pos(a) = lit {
+            a.collect_vars(&mut bindable);
+        }
+    }
+
+    for anchor in 0..body.len() {
+        let Literal::Pos(atom) = &body[anchor] else {
+            continue;
+        };
+        if atom.predicate.as_ref() != delta_relation {
+            continue;
+        }
+        let mut remaining: Vec<&Literal> = body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| (i != anchor).then_some(l))
+            .collect();
+        for tuple in delta_tuples {
+            if tuple.arity() != atom.args.len() {
+                continue; // stale delta from an arity-drifted relation
+            }
+            // Each delta tuple gets its own Bindings, so there is nothing
+            // to unwind after the solve.
+            let mut bindings = Bindings::new();
+            if bind_tuple(atom, tuple, &mut bindings).is_none() {
+                continue;
+            }
+            if solve(db, &mut remaining, &mut bindings, &bindable, &mut visit) == Control::Stop {
+                return;
+            }
+        }
+    }
+}
+
 /// Is `lit` ready to run as a filter under `bindings`?
 fn filter_ready(lit: &Literal, bindings: &Bindings, bindable: &BTreeSet<Var>) -> bool {
     match lit {
@@ -393,6 +451,66 @@ mod tests {
         let sols = evaluate_body(&inst, &body, &Bindings::new());
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0].get(&"x".into()), Some(&Value::null(0)));
+    }
+
+    #[test]
+    fn delta_seeding_restricts_to_new_tuples() {
+        let inst = db();
+        // Paths E(x,y), E(y,z) anchored at the new edge (2, 3): it can play
+        // either role, giving 1->2->3 and 2->3->4.
+        let body = vec![
+            Literal::Pos(atom("E", &["x", "y"])),
+            Literal::Pos(atom("E", &["y", "z"])),
+        ];
+        let delta = vec![grom_data::Tuple::new(vec![Value::int(2), Value::int(3)])];
+        let mut sols = Vec::new();
+        evaluate_body_from_delta(&inst, &body, "E", &delta, |b| {
+            sols.push(b.clone());
+            Control::Continue
+        });
+        assert_eq!(sols.len(), 2);
+        for s in &sols {
+            let y = s.get(&"y".into()).unwrap().as_int().unwrap();
+            assert!(y == 2 || y == 3);
+        }
+        // A delta on an unrelated relation seeds nothing.
+        let mut count = 0;
+        evaluate_body_from_delta(&inst, &body, "L", &delta, |_| {
+            count += 1;
+            Control::Continue
+        });
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn delta_seeding_respects_constants_and_stop() {
+        let inst = db();
+        let body = vec![Literal::Pos(Atom::new(
+            "L",
+            vec![Term::var("n"), Term::cons("a")],
+        ))];
+        // Two delta tuples; only the "a"-labeled one matches the constant.
+        let delta = vec![
+            grom_data::Tuple::new(vec![Value::int(1), Value::str("a")]),
+            grom_data::Tuple::new(vec![Value::int(2), Value::str("b")]),
+        ];
+        let mut sols = Vec::new();
+        evaluate_body_from_delta(&inst, &body, "L", &delta, |b| {
+            sols.push(b.clone());
+            Control::Continue
+        });
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(&"n".into()), Some(&Value::int(1)));
+
+        // Early stop is honored across anchors and tuples.
+        let body = vec![Literal::Pos(atom("E", &["x", "y"]))];
+        let delta: Vec<grom_data::Tuple> = inst.tuples("E").cloned().collect();
+        let mut count = 0;
+        evaluate_body_from_delta(&inst, &body, "E", &delta, |_| {
+            count += 1;
+            Control::Stop
+        });
+        assert_eq!(count, 1);
     }
 
     #[test]

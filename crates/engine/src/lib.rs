@@ -27,8 +27,12 @@ pub mod query;
 pub mod satisfy;
 
 pub use db::{Db, PairDb};
-pub use eval::{evaluate_body, evaluate_body_streaming, has_match, Control};
-pub use materialize::{materialize_views, MaterializeError};
+pub use eval::{
+    evaluate_body, evaluate_body_from_delta, evaluate_body_streaming, has_match, Control,
+};
+pub use materialize::{
+    materialize_views, materialize_views_tracked, MaterializeError, ViewMaterialization,
+};
 pub use query::Query;
 pub use satisfy::{
     dependency_satisfied, disjunct_satisfied, find_violation, instance_satisfies, Violation,

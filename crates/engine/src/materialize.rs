@@ -46,12 +46,36 @@ impl From<DataError> for MaterializeError {
     }
 }
 
+/// A materialization result with per-view delta reporting: the extents plus
+/// the number of (deduplicated) tuples each view contributed.
+///
+/// Every declared view has an entry — views whose bodies matched nothing
+/// report 0, they are not silently absent. Duplicate derivations across
+/// union rules count once (the extents instance deduplicates).
+#[derive(Debug, Clone)]
+pub struct ViewMaterialization {
+    /// The materialized view extents (view relations only).
+    pub extents: Instance,
+    /// View name → tuples inserted for it.
+    pub per_view: std::collections::BTreeMap<std::sync::Arc<str>, usize>,
+}
+
 /// Materialize every view of `views` over the base instance `base`.
 ///
 /// Returns a new instance containing **only** the view extents; callers that
 /// want `base ∪ Υ(base)` (e.g. the pipeline's composition reduction) union
 /// the result with `base` themselves.
 pub fn materialize_views(views: &ViewSet, base: &Instance) -> Result<Instance, MaterializeError> {
+    Ok(materialize_views_tracked(views, base)?.extents)
+}
+
+/// Like [`materialize_views`], additionally reporting the per-view deltas
+/// (how many tuples each view contributed). The pipeline surfaces these in
+/// its statistics.
+pub fn materialize_views_tracked(
+    views: &ViewSet,
+    base: &Instance,
+) -> Result<ViewMaterialization, MaterializeError> {
     let order = views.validate()?;
     let mut extents = Instance::new();
     for view in &order {
@@ -66,7 +90,17 @@ pub fn materialize_views(views: &ViewSet, base: &Instance) -> Result<Instance, M
             }
         }
     }
-    Ok(extents)
+    // The extents instance started empty and deduplicates, so each view's
+    // contribution is simply its relation's final size (0 when the view
+    // derived nothing).
+    let per_view = order
+        .iter()
+        .map(|view| {
+            let count = extents.relation(view).map_or(0, grom_data::Relation::len);
+            (view.clone(), count)
+        })
+        .collect();
+    Ok(ViewMaterialization { extents, per_view })
 }
 
 /// Project a solution onto the head argument list.
@@ -220,6 +254,41 @@ mod tests {
         assert_eq!(names_of(&extents, "V1"), vec![1, 3]);
         assert_eq!(names_of(&extents, "V2"), vec![1]);
         assert_eq!(names_of(&extents, "V3"), vec![1]);
+    }
+
+    #[test]
+    fn tracked_materialization_reports_per_view_deltas() {
+        let (views, inst) = paper_setup();
+        let out = materialize_views_tracked(&views, &inst).unwrap();
+        assert_eq!(out.per_view["Product"], 3);
+        assert_eq!(out.per_view["PopularProduct"], 1);
+        assert_eq!(out.per_view["AvgProduct"], 1);
+        assert_eq!(out.per_view["UnpopularProduct"], 1);
+        // Views that derive nothing still report, with count 0.
+        let (views, _) = paper_setup();
+        let out = materialize_views_tracked(&views, &Instance::new()).unwrap();
+        assert_eq!(out.per_view.len(), 4);
+        assert_eq!(out.per_view["Product"], 0);
+        assert_eq!(out.per_view["UnpopularProduct"], 0);
+        // Union rules deduplicate: 1 appears in both A and B but counts once.
+        let mut views = ViewSet::new();
+        views
+            .add_rule(ViewRule::new(
+                atom("V", &["x"]),
+                vec![Literal::Pos(atom("A", &["x"]))],
+            ))
+            .unwrap();
+        views
+            .add_rule(ViewRule::new(
+                atom("V", &["x"]),
+                vec![Literal::Pos(atom("B", &["x"]))],
+            ))
+            .unwrap();
+        let mut inst = Instance::new();
+        inst.add("A", vec![Value::int(1)]).unwrap();
+        inst.add("B", vec![Value::int(1)]).unwrap();
+        let out = materialize_views_tracked(&views, &inst).unwrap();
+        assert_eq!(out.per_view["V"], 1);
     }
 
     #[test]

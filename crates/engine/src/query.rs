@@ -8,8 +8,9 @@
 //! of conjunctive queries, naive evaluation — treat nulls as plain values,
 //! then discard answers that still contain nulls — computes exactly the
 //! certain answers over universal solutions, which is what
-//! [`certain_answers`] implements. [`answers`] returns the raw naive
-//! answers (nulls included) for callers that want the full picture.
+//! [`Query::certain_answers`] implements. [`Query::answers`] returns the
+//! raw naive answers (nulls included) for callers that want the full
+//! picture.
 //!
 //! Queries may have several rules (unions) and may use negation and
 //! comparisons in bodies, with the usual safety conditions; for queries

@@ -61,7 +61,7 @@ impl fmt::Display for ViewRule {
 
 /// A set of view definitions, validated to be non-recursive and safe.
 ///
-/// Use [`ViewSet::builder`]-style construction via [`ViewSet::new`] /
+/// Use builder-style construction via [`ViewSet::new`] /
 /// [`ViewSet::from_rules`]; [`ViewSet::validate`] performs the checks and is
 /// required before the set is handed to the engine or the rewriter.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -10,6 +10,14 @@
 //! a bounded number of iterations and a mean per-iteration time is
 //! printed; with `--test` (the CI smoke mode, same flag as upstream) each
 //! benchmark body runs exactly once and no timing is reported.
+//!
+//! When the `GROM_BENCH_JSON` env var names a file, every timed benchmark
+//! additionally appends one JSON line —
+//! `{"name":"<group>/<id>","wall_ms":<mean>,"iters":<n>}` — the same
+//! format the `grom-bench` experiments harness emits and the CI
+//! `bench_gate` binary compares against a committed baseline, so criterion
+//! runs and the bench job share one machine-readable output. Test-mode
+//! (single untimed iteration) runs emit nothing.
 
 #![forbid(unsafe_code)]
 
@@ -135,6 +143,11 @@ impl BenchmarkGroup<'_> {
         }
         let iters = bencher.iters.max(1);
         let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+        if let Ok(path) = std::env::var("GROM_BENCH_JSON") {
+            if let Err(e) = append_jsonl(&path, &self.name, &id.id, mean * 1e3, iters) {
+                eprintln!("criterion shim: cannot append to {path}: {e}");
+            }
+        }
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if mean > 0.0 => {
                 format!(" ({:.0} elem/s)", n as f64 / mean)
@@ -153,6 +166,29 @@ impl BenchmarkGroup<'_> {
             rate
         );
     }
+}
+
+/// Append one bench record in the shared JSONL bench format (see the
+/// module docs; `grom-bench`'s `bench_gate` consumes it).
+fn append_jsonl(
+    path: &str,
+    group: &str,
+    id: &str,
+    wall_ms: f64,
+    iters: u64,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        f,
+        "{{\"name\":\"{}/{}\",\"wall_ms\":{wall_ms:.4},\"iters\":{iters}}}",
+        escape(group),
+        escape(id)
+    )
 }
 
 /// Passed to benchmark routines; `iter` runs and times the closure.

@@ -4,7 +4,7 @@
 //!
 //! What is faithfully reproduced:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
 //!   `prop_filter` and `boxed`,
 //! * strategies for integer ranges, `&str` regex-lite patterns (character
 //!   classes with `{m,n}` quantifiers), tuples, `Vec<Strategy>`,
@@ -502,7 +502,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Sizes accepted by [`vec`]: a fixed count, `lo..hi`, or `lo..=hi`.
+    /// Sizes accepted by [`vec()`]: a fixed count, `lo..hi`, or `lo..=hi`.
     pub trait IntoSizeRange {
         /// Inclusive `(min, max)` bounds.
         fn size_bounds(&self) -> (usize, usize);
