@@ -1,0 +1,78 @@
+//! E8 — the parallel chase executor vs the sequential delta scheduler, on
+//! the independent-chain workload of
+//! [`grom_bench::parallel_scaling_workload`].
+//!
+//! Eight disjoint copy chains form eight conflict-free dependency groups,
+//! so every delta sweep fans out across the worker pool; the join against
+//! the shared static `K` relation keeps the per-tuple evaluation cost high
+//! enough that the sweep barrier's sequential merge does not dominate. The
+//! shape to reproduce: ≥1.5× speedup at 4 threads over
+//! `SchedulerMode::Delta`, with speedup growing from 2 to 4 threads. All
+//! modes must produce identical instances (checked on every tier before
+//! timing — the workload copies constants, so equality is byte-for-byte).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use grom::chase::chase_standard;
+use grom::prelude::*;
+use grom_bench::parallel_scaling_workload;
+
+const PARTITIONS: usize = 8;
+const DEPTH: usize = 12;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_parallel_scaling");
+    group.sample_size(10);
+
+    for &width in &[500usize, 2_000] {
+        let (deps, inst) = parallel_scaling_workload(PARTITIONS, DEPTH, width);
+        let seq_cfg = ChaseConfig::default().with_scheduler(SchedulerMode::Delta);
+
+        // Equivalence check before timing: identical final instances.
+        let seq = chase_standard(inst.clone(), &deps, &seq_cfg).expect("delta chase succeeds");
+        for threads in [2usize, 4] {
+            let par_cfg = ChaseConfig::default().with_threads(threads);
+            let par =
+                chase_standard(inst.clone(), &deps, &par_cfg).expect("parallel chase succeeds");
+            assert_eq!(
+                seq.instance.to_string(),
+                par.instance.to_string(),
+                "schedulers disagree at width {width}, {threads} threads"
+            );
+        }
+
+        let tuples = (PARTITIONS * width * (DEPTH + 1)) as u64;
+        group.throughput(Throughput::Elements(tuples));
+        group.bench_with_input(
+            BenchmarkId::new("delta", width),
+            &(&deps, &inst),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    chase_standard((*inst).clone(), deps, &seq_cfg)
+                        .expect("chase succeeds")
+                        .instance
+                        .len()
+                })
+            },
+        );
+        for threads in [2usize, 4] {
+            let par_cfg = ChaseConfig::default().with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads={threads}"), width),
+                &(&deps, &inst),
+                |b, (deps, inst)| {
+                    b.iter(|| {
+                        chase_standard((*inst).clone(), deps, &par_cfg)
+                            .expect("chase succeeds")
+                            .instance
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -20,9 +20,23 @@
 //!
 //! Workloads only present in the candidate are reported but never fail the
 //! gate — new benches should not need a baseline update to land.
+//!
+//! ## Cross-machine calibration
+//!
+//! Baseline wall times come from whatever machine generated the file, so a
+//! uniformly slower runner would trip the gate with no code change. When
+//! the baseline carries a `calibration` record (the fixed workload of
+//! `grom_bench::calibration`, emitted by every `experiments` run), the
+//! gate obtains the *local* figure for the same workload — the candidate
+//! file's record when present, otherwise by running the workload itself —
+//! and multiplies every baseline time by `local / baseline` (clamped to
+//! [0.25, 4]) before applying the threshold. Set
+//! `GROM_BENCH_GATE_NO_CALIBRATION=1` to compare raw wall times.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+use grom_bench::CALIBRATION_RECORD;
 
 /// Parse one JSONL bench line into `(name, wall_ms)`. Tolerates unknown
 /// extra fields; returns `None` for blank/malformed lines.
@@ -91,6 +105,9 @@ fn read_records(path: &str) -> Result<BTreeMap<String, f64>, String> {
 struct GateConfig {
     threshold: f64,
     min_ms: f64,
+    /// Baseline times are multiplied by this machine-speed ratio before
+    /// judging; 1.0 disables normalization.
+    scale: f64,
 }
 
 #[derive(Debug, PartialEq)]
@@ -106,6 +123,7 @@ fn judge(base_ms: f64, cand_ms: Option<f64>, cfg: &GateConfig) -> Verdict {
     let Some(cand_ms) = cand_ms else {
         return Verdict::Missing;
     };
+    let base_ms = base_ms * cfg.scale;
     if base_ms < cfg.min_ms && cand_ms < cfg.min_ms {
         return Verdict::BelowNoiseFloor;
     }
@@ -117,6 +135,31 @@ fn judge(base_ms: f64, cand_ms: Option<f64>, cfg: &GateConfig) -> Verdict {
     } else {
         Verdict::Ok
     }
+}
+
+/// The machine-speed ratio used to normalize baseline wall times: the
+/// local calibration figure over the baseline's, clamped so a wildly
+/// off calibration (throttled runner, debug build) cannot nullify the
+/// gate. Returns 1.0 when the baseline has no calibration record.
+fn calibration_scale(baseline: &BTreeMap<String, f64>, candidate: &BTreeMap<String, f64>) -> f64 {
+    let Some(&base_cal) = baseline.get(CALIBRATION_RECORD) else {
+        println!("calibration: baseline has no `{CALIBRATION_RECORD}` record; raw comparison");
+        return 1.0;
+    };
+    let local_cal = match candidate.get(CALIBRATION_RECORD) {
+        Some(&ms) => ms,
+        None => grom_bench::calibration_ms(),
+    };
+    let scale = (local_cal / base_cal.max(1e-9)).clamp(0.25, 4.0);
+    println!("calibration: baseline {base_cal:.2} ms, local {local_cal:.2} ms -> scale {scale:.2}");
+    scale
+}
+
+/// Records whose wall time depends on how many hardware threads the
+/// runner has (the `threads=N` tiers of the parallel-executor benches):
+/// a machine-speed ratio measured single-threaded cannot normalize them.
+fn is_core_count_dependent(name: &str) -> bool {
+    name.contains("/threads=")
 }
 
 fn env_f64(key: &str) -> Option<f64> {
@@ -144,11 +187,6 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_gate <baseline.json> <candidate.json> [--threshold 0.25]");
         return ExitCode::from(2);
     }
-    let cfg = GateConfig {
-        threshold,
-        min_ms: env_f64("GROM_BENCH_GATE_MIN_MS").unwrap_or(5.0),
-    };
-
     let (baseline, candidate) = match (read_records(&paths[0]), read_records(&paths[1])) {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
@@ -157,13 +195,39 @@ fn main() -> ExitCode {
         }
     };
 
+    let scale = if std::env::var("GROM_BENCH_GATE_NO_CALIBRATION").is_ok() {
+        1.0
+    } else {
+        calibration_scale(&baseline, &candidate)
+    };
+    let cfg = GateConfig {
+        threshold,
+        min_ms: env_f64("GROM_BENCH_GATE_MIN_MS").unwrap_or(5.0),
+        scale,
+    };
+
     let mut failures = 0usize;
     println!(
-        "bench gate: threshold +{:.0}%, noise floor {} ms",
+        "bench gate: threshold +{:.0}%, noise floor {} ms, baseline scale {:.2}",
         cfg.threshold * 100.0,
-        cfg.min_ms
+        cfg.min_ms,
+        cfg.scale
     );
     for (name, &base_ms) in &baseline {
+        if name == CALIBRATION_RECORD {
+            continue; // the normalizer itself is never gated
+        }
+        if is_core_count_dependent(name) {
+            // Multi-threaded wall times depend on the runner's core
+            // count, which the single-threaded calibration ratio cannot
+            // normalize — reported, never gated.
+            let shown = candidate
+                .get(name)
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "-".into());
+            println!("  {name}: {base_ms:.2} ms -> {shown} ms  [core-count dependent, not gated]");
+            continue;
+        }
         let cand_ms = candidate.get(name).copied();
         let verdict = judge(base_ms, cand_ms, &cfg);
         let shown = cand_ms
@@ -182,10 +246,13 @@ fn main() -> ExitCode {
                 "MISSING"
             }
         };
-        println!("  {name}: {base_ms:.2} ms -> {shown} ms  [{tag}]");
+        println!(
+            "  {name}: {:.2} ms -> {shown} ms  [{tag}]",
+            base_ms * cfg.scale
+        );
     }
     for name in candidate.keys() {
-        if !baseline.contains_key(name) {
+        if name != CALIBRATION_RECORD && !baseline.contains_key(name) {
             println!("  {name}: new workload (no baseline, not gated)");
         }
     }
@@ -247,6 +314,7 @@ mod tests {
         let cfg = GateConfig {
             threshold: 0.25,
             min_ms: 5.0,
+            scale: 1.0,
         };
         assert_eq!(judge(100.0, Some(110.0), &cfg), Verdict::Ok);
         assert_eq!(judge(100.0, Some(126.0), &cfg), Verdict::Regressed);
@@ -256,5 +324,42 @@ mod tests {
         assert_eq!(judge(1.0, Some(4.0), &cfg), Verdict::BelowNoiseFloor);
         // …but a genuine blow-up past the floor does.
         assert_eq!(judge(1.0, Some(50.0), &cfg), Verdict::Regressed);
+    }
+
+    #[test]
+    fn calibration_scale_normalizes_judgements() {
+        // A machine 2x slower than the baseline's: +120% raw wall time is
+        // only +10% once normalized.
+        let slow = GateConfig {
+            threshold: 0.25,
+            min_ms: 5.0,
+            scale: 2.0,
+        };
+        assert_eq!(judge(100.0, Some(220.0), &slow), Verdict::Ok);
+        assert_eq!(judge(100.0, Some(260.0), &slow), Verdict::Regressed);
+        // A faster machine tightens the budget symmetrically.
+        let fast = GateConfig {
+            threshold: 0.25,
+            min_ms: 5.0,
+            scale: 0.5,
+        };
+        assert_eq!(judge(100.0, Some(70.0), &fast), Verdict::Regressed);
+        assert_eq!(judge(100.0, Some(55.0), &fast), Verdict::Ok);
+    }
+
+    #[test]
+    fn calibration_scale_prefers_candidate_record_and_clamps() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert(CALIBRATION_RECORD.to_string(), 10.0);
+        let mut candidate = BTreeMap::new();
+        candidate.insert(CALIBRATION_RECORD.to_string(), 20.0);
+        assert!((calibration_scale(&baseline, &candidate) - 2.0).abs() < 1e-9);
+        // Wildly off figures are clamped so the gate stays meaningful.
+        candidate.insert(CALIBRATION_RECORD.to_string(), 1000.0);
+        assert!((calibration_scale(&baseline, &candidate) - 4.0).abs() < 1e-9);
+        candidate.insert(CALIBRATION_RECORD.to_string(), 0.1);
+        assert!((calibration_scale(&baseline, &candidate) - 0.25).abs() < 1e-9);
+        // No baseline record: raw comparison.
+        assert!((calibration_scale(&BTreeMap::new(), &candidate) - 1.0).abs() < 1e-9);
     }
 }

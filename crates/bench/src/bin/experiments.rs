@@ -403,6 +403,68 @@ fn e7d() -> Table {
     t
 }
 
+/// E8 — the parallel chase executor: worker-pool delta sweeps over the
+/// independent chains of [`grom_bench::parallel_scaling_workload`] vs the
+/// sequential delta scheduler. Instances must be identical; the speedup at
+/// 4 threads is the tentpole figure (target: ≥1.5×).
+fn e8() -> Table {
+    use grom::chase::chase_standard;
+    let mut t = Table::new(
+        "E8: parallel chase executor vs sequential delta scheduler (8 chains, depth 12)",
+        &[
+            "width",
+            "tuples",
+            "delta ms",
+            "2 threads ms",
+            "4 threads ms",
+            "speedup@4",
+            "identical",
+        ],
+    );
+    let (partitions, depth) = (8, 12);
+    for width in tiers(&[500usize, 2_000], &[200, 600]) {
+        let width = width * scale();
+        let (deps, inst) = parallel_scaling_workload(partitions, depth, width);
+        let seq_cfg = ChaseConfig::default().with_scheduler(SchedulerMode::Delta);
+        let t0 = Instant::now();
+        let seq = chase_standard(inst.clone(), &deps, &seq_cfg).expect("delta chase succeeds");
+        let seq_ms = t0.elapsed();
+        record(
+            format!("e8_parallel_scaling/delta/width={width}"),
+            ms_f(seq_ms),
+            seq.instance.len() as u64,
+        );
+
+        let mut wall = [std::time::Duration::ZERO; 2];
+        let mut identical = true;
+        for (slot, threads) in [2usize, 4].into_iter().enumerate() {
+            let par_cfg = ChaseConfig::default().with_threads(threads);
+            let t1 = Instant::now();
+            let par =
+                chase_standard(inst.clone(), &deps, &par_cfg).expect("parallel chase succeeds");
+            wall[slot] = t1.elapsed();
+            identical &= par.instance.to_string() == seq.instance.to_string();
+            assert!(identical, "schedulers disagree at width {width}");
+            record(
+                format!("e8_parallel_scaling/threads={threads}/width={width}"),
+                ms_f(wall[slot]),
+                par.instance.len() as u64,
+            );
+        }
+        let speedup = seq_ms.as_secs_f64() / wall[1].as_secs_f64().max(1e-9);
+        t.row(vec![
+            width.to_string(),
+            seq.instance.len().to_string(),
+            ms(seq_ms),
+            ms(wall[0]),
+            ms(wall[1]),
+            format!("{speedup:.2}x"),
+            identical.to_string(),
+        ]);
+    }
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -419,12 +481,21 @@ fn main() {
         ("e6", e6),
         ("e7", e7),
         ("e7d", e7d),
+        ("e8", e8),
     ];
     for (name, f) in experiments {
         if want(name) {
             println!("{}", f());
         }
     }
+    // The calibration figure every run contributes: `bench_gate` compares
+    // its own local measurement against the baseline's to normalize wall
+    // times across machines (see `grom_bench::calibration`).
+    record(
+        grom_bench::CALIBRATION_RECORD,
+        grom_bench::calibration_ms(),
+        0,
+    );
     match grom_bench::flush_jsonl_env() {
         Ok(Some(path)) => println!("bench records appended to {}", path.display()),
         Ok(None) => {}

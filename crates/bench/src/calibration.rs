@@ -1,0 +1,62 @@
+//! The bench-gate calibration workload.
+//!
+//! `BENCH_baseline.json` stores wall times from whatever machine generated
+//! it; a CI runner from another hardware generation can be uniformly
+//! slower or faster without any code change. To make the regression gate
+//! portable, every harness run — and `bench_gate` itself — times one tiny
+//! **fixed** workload. The ratio between the local figure and the
+//! `calibration` record stored in the baseline estimates the machines'
+//! relative speed, and the gate scales the baseline by it before applying
+//! the threshold.
+//!
+//! The workload is a small deterministic chase (the reverse-declared copy
+//! chain of [`crate::workloads::delta_scaling_workload`]) run under the
+//! sequential delta scheduler: pure CPU + hashing, no I/O, no randomness,
+//! representative of what every gated workload actually does. Best-of-N
+//! keeps scheduler jitter out of the figure.
+
+use std::time::Instant;
+
+use grom::chase::{chase_standard, SchedulerMode};
+use grom::prelude::ChaseConfig;
+
+use crate::workloads::delta_scaling_workload;
+
+/// The record name both the harness and the gate use for the calibration
+/// figure.
+pub const CALIBRATION_RECORD: &str = "calibration";
+
+/// Chain depth / width of the fixed workload. Small enough to add
+/// negligible time to a bench run, large enough (~10 ms on the reference
+/// machine) to sit above timer noise.
+const DEPTH: usize = 8;
+const WIDTH: usize = 400;
+const REPEATS: usize = 3;
+
+/// Run the fixed calibration workload and return its best-of-3 wall time
+/// in milliseconds.
+pub fn calibration_ms() -> f64 {
+    let (deps, inst) = delta_scaling_workload(DEPTH, WIDTH);
+    let cfg = ChaseConfig::default().with_scheduler(SchedulerMode::Delta);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let res = chase_standard(inst.clone(), &deps, &cfg).expect("calibration chase succeeds");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Keep the optimizer honest: the result size feeds the check.
+        assert_eq!(res.instance.len(), (DEPTH + 1) * WIDTH);
+        best = best.min(ms);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_positive_and_finite() {
+        let ms = calibration_ms();
+        assert!(ms.is_finite() && ms > 0.0, "calibration_ms = {ms}");
+    }
+}

@@ -9,12 +9,15 @@
 //! scenario and instance, so criterion runs and the experiments binary are
 //! reproducible.
 
+pub mod calibration;
 pub mod report;
 pub mod workloads;
 
+pub use calibration::{calibration_ms, CALIBRATION_RECORD};
 pub use report::{flush_jsonl_env, record, BenchRecord, Table, BENCH_JSON_ENV};
 pub use workloads::{
     conjunctive_family, delta_scaling_workload, greedy_intricacy_attributable,
-    greedy_intricacy_workload, negation_family, restriction_pair, running_example_scenario,
-    running_example_source, universal_model_workload, RunningExampleConfig,
+    greedy_intricacy_workload, negation_family, parallel_scaling_workload, restriction_pair,
+    running_example_scenario, running_example_source, universal_model_workload,
+    RunningExampleConfig,
 };

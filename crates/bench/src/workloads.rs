@@ -230,6 +230,53 @@ pub fn delta_scaling_workload(depth: usize, width: usize) -> (Vec<Dependency>, I
     (prog.deps, inst)
 }
 
+/// E8: the parallel-executor separation workload — `partitions`
+/// *independent* copy chains (disjoint relations `P{p}L{i}`, reverse
+/// declaration order as in [`delta_scaling_workload`]), each joining a
+/// small shared static relation `K` on the way down:
+///
+/// ```text
+/// t{p}{i}:  P{p}L{i}(x, y), K(y, z)  ->  P{p}L{i+1}(x, z)
+/// ```
+///
+/// `K` is functional (`K(y, (y*3+1) % 7)`), so width is preserved level to
+/// level. Nobody concludes `K`, so the conflict partition of the parallel
+/// chase executor is exactly one group per chain — the workload that lets
+/// a `threads`-wide pool run `partitions`-way parallel delta sweeps.
+/// Everything copies constants, hence any two scheduler modes must produce
+/// identical instances.
+pub fn parallel_scaling_workload(
+    partitions: usize,
+    depth: usize,
+    width: usize,
+) -> (Vec<Dependency>, Instance) {
+    let mut text = String::new();
+    for p in 0..partitions {
+        for i in (0..depth).rev() {
+            text.push_str(&format!(
+                "tgd t{p}_{i}: P{p}L{i}(x, y), K(y, z) -> P{p}L{}(x, z).\n",
+                i + 1
+            ));
+        }
+    }
+    let prog = Program::parse(&text).expect("generated parallel-scaling workload parses");
+    let mut inst = Instance::new();
+    for y in 0..7i64 {
+        inst.add("K", vec![Value::int(y), Value::int((y * 3 + 1) % 7)])
+            .expect("fresh relation");
+    }
+    for p in 0..partitions {
+        for r in 0..width {
+            inst.add(
+                format!("P{p}L0"),
+                vec![Value::int(r as i64), Value::int((r % 7) as i64)],
+            )
+            .expect("fresh relation");
+        }
+    }
+    (prog.deps, inst)
+}
+
 /// E6: the §4 reformulation exercise. Returns `(perverse, reformulated)`:
 /// the perverse scenario is the paper's running example (negation inside
 /// `PopularProduct` forces the ded `d0`); the reformulated one replaces the
@@ -385,6 +432,29 @@ mod tests {
         assert!(delta.stats.delta_activations >= 5);
         assert!(naive.stats.full_rescans == 0 && naive.stats.delta_activations == 0);
         assert!(delta.stats.rounds >= 6);
+    }
+
+    #[test]
+    fn parallel_scaling_workload_partitions_are_independent() {
+        use grom::chase::{chase_standard, Partition, SchedulerMode, TriggerIndex};
+        let (deps, inst) = parallel_scaling_workload(4, 3, 15);
+        assert_eq!(deps.len(), 12);
+        // One conflict-free group per chain: the parallelism the e8 bench
+        // exploits.
+        let part = Partition::build(&deps, &TriggerIndex::build(&deps));
+        assert_eq!(part.group_count(), 4);
+
+        let seq = chase_standard(inst.clone(), &deps, &ChaseConfig::default()).unwrap();
+        let par = chase_standard(
+            inst,
+            &deps,
+            &ChaseConfig::default().with_scheduler(SchedulerMode::Parallel { threads: 4 }),
+        )
+        .unwrap();
+        // Constant-only chains: byte-identical instances.
+        assert_eq!(seq.instance.to_string(), par.instance.to_string());
+        assert_eq!(seq.instance.len(), 7 + 4 * 15 * 4);
+        assert!(par.stats.delta_activations > 0);
     }
 
     #[test]

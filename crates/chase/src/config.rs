@@ -1,19 +1,56 @@
 //! Chase configuration.
 
 /// How the standard chase schedules premise evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerMode {
     /// Delta-driven (semi-naive) scheduling: a trigger index routes newly
     /// inserted tuples to the dependencies whose premises read them, and
     /// evaluation is seeded from those deltas. Full rescans happen only on
     /// each dependency's first activation and after egd-driven null
     /// unifications. The default.
-    #[default]
     Delta,
     /// The classical loop: every round re-evaluates every premise against
     /// the entire instance. Quadratic in rounds × instance size; kept as
     /// the reference implementation and for A/B benchmarking.
     FullRescan,
+    /// Delta scheduling with sweeps executed by the parallel chase
+    /// executor: the scheduler worklist is partitioned into conflict-free
+    /// dependency groups (see [`crate::partition`]) and each group's
+    /// activations run on a worker pool against an immutable snapshot of
+    /// the instance, with per-worker insertion buffers merged
+    /// deterministically at the sweep barrier. Results are identical to
+    /// [`SchedulerMode::Delta`] up to the renaming of labeled nulls.
+    Parallel {
+        /// Worker-pool width; `0` and `1` both mean one worker.
+        threads: usize,
+    },
+}
+
+impl SchedulerMode {
+    /// The mode for a requested thread count: [`SchedulerMode::Delta`] for
+    /// zero or one thread (the sequential loop has no sweep-barrier
+    /// overhead), [`SchedulerMode::Parallel`] otherwise.
+    pub fn with_threads(threads: usize) -> Self {
+        if threads >= 2 {
+            SchedulerMode::Parallel { threads }
+        } else {
+            SchedulerMode::Delta
+        }
+    }
+}
+
+impl Default for SchedulerMode {
+    /// [`SchedulerMode::Delta`], unless the `GROM_THREADS` environment
+    /// variable requests two or more workers — the hook the CI thread
+    /// matrix uses to run the whole test suite under the parallel
+    /// executor.
+    fn default() -> Self {
+        let threads = std::env::var("GROM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(1);
+        SchedulerMode::with_threads(threads)
+    }
 }
 
 /// Budgets and knobs for the chase engine.
@@ -75,5 +112,28 @@ impl ChaseConfig {
     pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Shorthand for [`SchedulerMode::with_threads`]: `threads >= 2` runs
+    /// the parallel executor, anything less the sequential delta scheduler.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_scheduler(SchedulerMode::with_threads(threads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_map_to_modes() {
+        assert_eq!(SchedulerMode::with_threads(0), SchedulerMode::Delta);
+        assert_eq!(SchedulerMode::with_threads(1), SchedulerMode::Delta);
+        assert_eq!(
+            SchedulerMode::with_threads(4),
+            SchedulerMode::Parallel { threads: 4 }
+        );
+        let cfg = ChaseConfig::default().with_threads(2);
+        assert_eq!(cfg.scheduler, SchedulerMode::Parallel { threads: 2 });
     }
 }

@@ -26,11 +26,19 @@
 //!   them, and premise evaluation is seeded from those deltas instead of
 //!   rescanning the whole instance every round (see
 //!   [`config::SchedulerMode`]).
+//! * [`partition`] / [`parallel`] — the parallel chase executor: the
+//!   scheduler worklist is partitioned into conflict-free dependency
+//!   groups and each sweep's activations run on the worker pool of
+//!   `grom-exec` against immutable instance snapshots, with per-worker
+//!   insertion buffers merged deterministically at the sweep barrier
+//!   ([`config::SchedulerMode::Parallel`]).
 
 pub mod config;
 pub mod core_min;
 pub mod ded;
 pub mod nullmap;
+pub mod parallel;
+pub mod partition;
 pub mod result;
 pub mod scheduler;
 pub mod standard;
@@ -43,6 +51,7 @@ pub use ded::{
     chase_exhaustive, chase_greedy, chase_greedy_backjump, chase_with_deds, ExhaustiveResult,
 };
 pub use nullmap::NullMap;
+pub use partition::Partition;
 pub use result::{ChaseError, ChaseResult, ChaseStats};
 pub use scheduler::Scheduler;
 pub use standard::{chase_standard, chase_standard_full_rescan};

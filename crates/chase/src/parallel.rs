@@ -1,0 +1,534 @@
+//! The parallel chase executor: scheduler sweeps on a worker pool.
+//!
+//! `chase_standard_parallel` (the [`SchedulerMode::Parallel`] arm of
+//! [`crate::standard::chase_standard`]) runs the same worklist as the
+//! sequential delta scheduler ([`crate::scheduler`]), but executes each
+//! sweep's delta activations concurrently:
+//!
+//! 1. The dependency set is statically partitioned into **conflict-free
+//!    groups** ([`crate::partition::Partition`]): two dependencies conflict
+//!    iff one's conclusion relations intersect the other's premise or
+//!    conclusion relations. Groups never interact within a sweep — one
+//!    group's insertions can neither create nor satisfy another group's
+//!    matches.
+//! 2. Each sweep walks the dependencies in declaration order, collecting
+//!    maximal **segments** of group-executable dependencies. A segment's
+//!    groups become jobs on a [`WorkerPool`]: every worker evaluates
+//!    against an immutable snapshot of the instance through a
+//!    [`ShardView`] (snapshot ∪ private insertion buffer) and allocates
+//!    fresh nulls from a disjoint strided label range.
+//! 3. At the segment barrier the buffers are merged into the master
+//!    instance in job order and routed through the scheduler — so the
+//!    merged instance, and everything downstream, is deterministic
+//!    regardless of thread scheduling.
+//! 4. Dependencies whose conclusions contain equalities (egds, mixed
+//!    tgd+egds) form segment boundaries and run sequentially at their
+//!    declaration position, sharing the run-level [`NullMap`]; their null
+//!    unifications use the same targeted invalidation as the sequential
+//!    loop.
+//!
+//! Within a group, a worker routes its own insertions to later
+//! dependencies of the same job via the [`TriggerIndex`], mirroring the
+//! same-round cascading of the sequential loop. The result is identical to
+//! [`SchedulerMode::Delta`] up to the renaming of labeled nulls (workers
+//! draw from strided ranges, so labels differ, structure does not).
+//!
+//! [`SchedulerMode::Delta`]: crate::config::SchedulerMode::Delta
+//! [`SchedulerMode::Parallel`]: crate::config::SchedulerMode::Parallel
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use grom_data::{DeltaLog, Instance, NullGenerator, StridedNullGenerator, Value};
+use grom_lang::{Bindings, Dependency, Term, Var};
+
+use grom_engine::{disjunct_satisfied, find_violation};
+use grom_exec::{ShardView, WorkerPool};
+
+use crate::config::ChaseConfig;
+use crate::nullmap::NullMap;
+use crate::partition::Partition;
+use crate::result::{ChaseError, ChaseResult, ChaseStats};
+use crate::scheduler::{delta_violations, run_dep_sequential, Pending, Scheduler};
+use crate::standard::{check_executable, collect_violations};
+use crate::trigger::TriggerIndex;
+
+/// One worker job: the claimed worklist entries of one conflict group
+/// within one segment, in dependency order.
+struct GroupJob {
+    work: Vec<(usize, Pending)>,
+}
+
+/// What a job hands back at the barrier.
+struct GroupOutcome {
+    /// Everything the job inserted, in per-relation insertion order.
+    delta: DeltaLog,
+    /// `(dep, relation) -> count`: how many of `delta`'s leading tuples of
+    /// `relation` the worker already routed to `dep` in-sweep (worker-local
+    /// cascading). The barrier posts only the remainders, so no activation
+    /// sees the same tuple twice.
+    consumed: BTreeMap<(usize, Arc<str>), usize>,
+    /// Partial counters (rounds stay zero; the coordinator owns them).
+    stats: ChaseStats,
+    /// Largest null label drawn from the job's strided range, if any.
+    max_null: Option<u64>,
+    /// Denial / comparison failure, tagged with its dependency index so
+    /// the coordinator can report the earliest one deterministically.
+    failure: Option<(usize, ChaseError)>,
+}
+
+/// Apply a tgd-style disjunct (no equalities — the partition guarantees
+/// it) into a worker's shard view, inventing fresh nulls from the worker's
+/// strided range.
+///
+/// Keep in sync with [`crate::standard::apply_disjunct`]: this is its
+/// equality-free half, writing through a [`ShardView`] instead of the
+/// master instance (which also removes the null-map resolution — group
+/// reads never observe mapped labels).
+fn apply_group_disjunct(
+    view: &mut ShardView<'_>,
+    dep: &Dependency,
+    bindings: &Bindings,
+    nulls: &mut StridedNullGenerator,
+    stats: &mut ChaseStats,
+) -> Result<(), ChaseError> {
+    let disjunct = &dep.disjuncts[0];
+    debug_assert!(disjunct.eqs.is_empty(), "eq disjuncts run sequentially");
+
+    // Comparisons over premise variables: if they do not hold for this
+    // match, no repair can ever satisfy this disjunct.
+    for c in &disjunct.cmps {
+        if !bindings.eval_comparison(c).unwrap_or(false) {
+            return Err(ChaseError::Failure {
+                dependency: dep.name.clone(),
+                detail: format!("disjunct comparison `{c}` cannot be satisfied at {bindings}"),
+            });
+        }
+    }
+
+    if disjunct.atoms.is_empty() {
+        return Ok(());
+    }
+    let mut fresh: BTreeMap<Var, Value> = BTreeMap::new();
+    for atom in &disjunct.atoms {
+        let mut row = Vec::with_capacity(atom.args.len());
+        for t in &atom.args {
+            let v = match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => match bindings.get(v) {
+                    Some(val) => val.clone(),
+                    None => fresh
+                        .entry(v.clone())
+                        .or_insert_with(|| {
+                            stats.nulls_invented += 1;
+                            nulls.fresh()
+                        })
+                        .clone(),
+                },
+            };
+            row.push(v);
+        }
+        if view.insert(&atom.predicate, row.into())? {
+            stats.tuples_inserted += 1;
+        }
+    }
+    stats.tgd_applications += 1;
+    Ok(())
+}
+
+/// Run one group's claimed work against a snapshot. Mirrors the
+/// sequential per-dependency body, with two parallel-specific twists: all
+/// reads go through the shard view, and freshly inserted tuples are routed
+/// *locally* to later dependencies of the same job (cross-group routing
+/// happens at the barrier — by construction no other group can read them).
+///
+/// Keep the claim/evaluate/denial handling in sync with
+/// [`crate::scheduler::run_dep_sequential`] — the evaluation halves are
+/// deliberately parallel texts over different databases and sinks.
+fn run_group_job(
+    base: &Instance,
+    deps: &[Dependency],
+    triggers: &TriggerIndex,
+    mut job: GroupJob,
+    mut nulls: StridedNullGenerator,
+) -> GroupOutcome {
+    let mut view = ShardView::new(base);
+    let mut delta = DeltaLog::default();
+    let mut consumed: BTreeMap<(usize, Arc<str>), usize> = BTreeMap::new();
+    let mut stats = ChaseStats::default();
+    let fail =
+        |k: usize, e: ChaseError, stats: ChaseStats, nulls: &StridedNullGenerator| GroupOutcome {
+            delta: DeltaLog::default(),
+            consumed: BTreeMap::new(),
+            stats,
+            max_null: nulls.max_allocated(),
+            failure: Some((k, e)),
+        };
+
+    for slot in 0..job.work.len() {
+        let (k, pending) = std::mem::replace(&mut job.work[slot], (0, Pending::Idle));
+        let dep = &deps[k];
+        let violations = match pending {
+            Pending::Idle => continue,
+            Pending::Full => {
+                stats.full_rescans += 1;
+                if dep.is_denial() {
+                    if let Some(v) = find_violation(&view, dep) {
+                        let e = ChaseError::Failure {
+                            dependency: dep.name.clone(),
+                            detail: format!("denial premise matched at {}", v.bindings),
+                        };
+                        return fail(k, e, stats, &nulls);
+                    }
+                    continue;
+                }
+                collect_violations(&view, dep)
+            }
+            Pending::Delta(map) => {
+                stats.delta_activations += 1;
+                stats.delta_tuples_seeded += map.values().map(Vec::len).sum::<usize>();
+                let vs = delta_violations(&view, dep, &map, dep.is_denial());
+                if dep.is_denial() {
+                    if let Some(b) = vs.first() {
+                        let e = ChaseError::Failure {
+                            dependency: dep.name.clone(),
+                            detail: format!("denial premise matched at {b}"),
+                        };
+                        return fail(k, e, stats, &nulls);
+                    }
+                    continue;
+                }
+                vs
+            }
+        };
+
+        for b in &violations {
+            // No null map here: group dependencies never unify nulls, and
+            // relations they read contain no mapped labels (a mapped label
+            // would have rewritten — and invalidated — the relation).
+            if disjunct_satisfied(&view, &dep.disjuncts[0], b) {
+                continue;
+            }
+            if let Err(e) = apply_group_disjunct(&mut view, dep, b, &mut nulls, &mut stats) {
+                return fail(k, e, stats, &nulls);
+            }
+        }
+
+        let log = view.take_delta();
+        if log.is_empty() {
+            continue;
+        }
+        // Same-sweep cascading within the job: route to *later* entries
+        // only; earlier ones were already processed, exactly as in the
+        // sequential round, and will see these tuples via the barrier.
+        // Per-relation logs accumulate into `delta` in slot order, so the
+        // tuples delivered to a later entry are exactly a prefix of the
+        // job delta — recorded in `consumed` so the barrier post routes
+        // only the remainder to that dependency.
+        for (rel, tuples) in log.relations() {
+            for &target in triggers.triggered_by(rel) {
+                if let Some(pos) = job.work[slot + 1..]
+                    .iter()
+                    .position(|(kk, _)| *kk == target)
+                {
+                    job.work[slot + 1 + pos].1.add_delta(rel, tuples);
+                    *consumed.entry((target, rel.clone())).or_default() += tuples.len();
+                }
+            }
+        }
+        delta.absorb(&log);
+    }
+
+    GroupOutcome {
+        delta,
+        consumed,
+        stats,
+        max_null: nulls.max_allocated(),
+        failure: None,
+    }
+}
+
+/// The parallel standard chase: semantics of
+/// [`crate::scheduler::chase_standard_delta`], sweeps executed by a worker
+/// pool over conflict-free dependency groups.
+pub(crate) fn chase_standard_parallel(
+    start: Instance,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+    threads: usize,
+) -> Result<ChaseResult, ChaseError> {
+    for dep in deps {
+        check_executable(dep, false)?;
+    }
+
+    let mut inst = start;
+    let mut stats = ChaseStats::default();
+    let mut nullgen = NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
+    let mut nullmap = NullMap::new();
+    let mut sched = Scheduler::new(deps);
+    let partition = Partition::build(deps, sched.triggers());
+    let pool = WorkerPool::new(threads);
+    inst.begin_delta_tracking();
+
+    loop {
+        if stats.rounds >= config.max_rounds {
+            return Err(ChaseError::RoundLimit {
+                rounds: stats.rounds,
+            });
+        }
+        stats.rounds += 1;
+        if !sched.has_work() {
+            break;
+        }
+
+        let mut k = 0;
+        while k < deps.len() {
+            if partition.group_of(k).is_none() {
+                // Equality-bearing dependency: a segment boundary, run
+                // sequentially at its declaration position.
+                run_dep_sequential(
+                    &mut inst,
+                    deps,
+                    k,
+                    &mut sched,
+                    &mut nullmap,
+                    &mut nullgen,
+                    &mut stats,
+                )?;
+                k += 1;
+                continue;
+            }
+
+            // Collect the maximal segment of group-executable
+            // dependencies, claiming their pending work by group.
+            let mut jobs: BTreeMap<usize, GroupJob> = BTreeMap::new();
+            while k < deps.len() {
+                let Some(g) = partition.group_of(k) else {
+                    break;
+                };
+                let pending = sched.take(k);
+                jobs.entry(g)
+                    .or_insert_with(|| GroupJob { work: Vec::new() })
+                    .work
+                    .push((k, pending));
+                k += 1;
+            }
+            let jobs: Vec<GroupJob> = jobs
+                .into_values()
+                .filter(|j| j.work.iter().any(|(_, p)| !matches!(p, Pending::Idle)))
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+
+            // Snapshot-execute the segment. Null ranges and result order
+            // are functions of the job index, so the sweep is
+            // deterministic under any thread schedule.
+            let base_label = nullgen.peek_next();
+            let stride = jobs.len() as u64;
+            let triggers = sched.triggers();
+            let snapshot: &Instance = &inst;
+            let outcomes = pool.run(jobs, |j, job| {
+                let nulls = StridedNullGenerator::new(base_label, j as u64, stride);
+                run_group_job(snapshot, deps, triggers, job, nulls)
+            });
+
+            // Barrier: report the earliest failure (by dependency index,
+            // for determinism), else merge buffers in job order and route
+            // the merged deltas.
+            let earliest_failure = outcomes
+                .iter()
+                .filter_map(|o| o.failure.as_ref())
+                .min_by_key(|(fk, _)| *fk);
+            if let Some((_, e)) = earliest_failure {
+                return Err(e.clone());
+            }
+            // Tracking is suspended for the merge: the group logs already
+            // carry every inserted tuple, so they are routed directly
+            // instead of being re-logged by the master instance.
+            inst.end_delta_tracking();
+            for o in &outcomes {
+                stats.absorb(&o.stats);
+                if let Some(m) = o.max_null {
+                    nullgen.advance_to(m + 1);
+                }
+                inst.absorb_delta(&o.delta)?;
+                sched.post_job(&o.delta, &o.consumed);
+            }
+            inst.begin_delta_tracking();
+        }
+    }
+
+    inst.end_delta_tracking();
+    Ok(ChaseResult {
+        instance: inst,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerMode;
+    use crate::standard::{all_satisfied, chase_standard, chase_standard_full_rescan};
+    use grom_data::canonical_render;
+    use grom_lang::parser::{parse_dependency, parse_program};
+
+    fn inst(facts: &[(&str, &[i64])]) -> Instance {
+        let mut i = Instance::new();
+        for (rel, vals) in facts {
+            i.add(*rel, vals.iter().map(|&v| Value::int(v)).collect())
+                .unwrap();
+        }
+        i
+    }
+
+    fn par(threads: usize) -> ChaseConfig {
+        ChaseConfig::default().with_scheduler(SchedulerMode::Parallel { threads })
+    }
+
+    #[test]
+    fn independent_partitions_match_sequential() {
+        // Four disjoint copy chains; each is one conflict group.
+        let mut text = String::new();
+        for p in 0..4 {
+            for i in (0..3).rev() {
+                text.push_str(&format!(
+                    "tgd t{p}_{i}: C{p}L{i}(x) -> C{p}L{}(x).\n",
+                    i + 1
+                ));
+            }
+        }
+        let prog = parse_program(&text).unwrap();
+        let mut start = Instance::new();
+        for p in 0..4 {
+            for r in 0..10 {
+                start.add(format!("C{p}L0"), vec![Value::int(r)]).unwrap();
+            }
+        }
+        let seq = chase_standard(start.clone(), &prog.deps, &ChaseConfig::default()).unwrap();
+        let parl = chase_standard(start, &prog.deps, &par(4)).unwrap();
+        // Constant-only chains: byte-identical instances.
+        assert_eq!(seq.instance.to_string(), parl.instance.to_string());
+        assert!(parl.stats.delta_activations > 0);
+    }
+
+    #[test]
+    fn existential_nulls_match_up_to_renaming() {
+        let p = parse_program(
+            "tgd a: S(x) -> T(x, w), U(w).\n\
+             tgd b: S2(x) -> V(x, w).",
+        )
+        .unwrap();
+        let start = inst(&[("S", &[1]), ("S", &[2]), ("S2", &[7])]);
+        let seq = chase_standard(start.clone(), &p.deps, &ChaseConfig::default()).unwrap();
+        let parl = chase_standard(start, &p.deps, &par(2)).unwrap();
+        assert_eq!(
+            canonical_render(&seq.instance),
+            canonical_render(&parl.instance)
+        );
+        assert_eq!(seq.stats.nulls_invented, parl.stats.nulls_invented);
+        assert!(all_satisfied(&parl.instance, &p.deps));
+    }
+
+    #[test]
+    fn egds_run_sequentially_and_agree() {
+        let m = parse_dependency("tgd m: S(x) -> T(x, y).").unwrap();
+        let k = parse_dependency("tgd k: S2(x, y) -> T(x, y).").unwrap();
+        let e = parse_dependency("egd e: T(x, y1), T(x, y2) -> y1 = y2.").unwrap();
+        let deps = vec![m, k, e];
+        let start = inst(&[("S", &[1]), ("S2", &[1, 42])]);
+        let seq =
+            chase_standard_full_rescan(start.clone(), &deps, &ChaseConfig::default()).unwrap();
+        let parl = chase_standard(start, &deps, &par(3)).unwrap();
+        assert_eq!(
+            canonical_render(&seq.instance),
+            canonical_render(&parl.instance)
+        );
+        let t: Vec<_> = parl.instance.tuples("T").collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].get(1), Some(&Value::int(42)));
+    }
+
+    #[test]
+    fn egd_between_tgds_splits_the_sweep_into_segments() {
+        // tgd | egd | tgd: the egd is a segment boundary, so each sweep
+        // runs two pool segments around a sequential unification — the
+        // shape the declaration-order guarantee is about.
+        let p = parse_program(
+            "tgd a: S(x) -> T(x, w).\n\
+             egd e: T(x, y1), T(x, y2) -> y1 = y2.\n\
+             tgd b: S2(x, y) -> T(x, y).",
+        )
+        .unwrap();
+        let start = inst(&[("S", &[1]), ("S2", &[1, 9]), ("S2", &[2, 3])]);
+        let seq =
+            chase_standard_full_rescan(start.clone(), &p.deps, &ChaseConfig::default()).unwrap();
+        let parl = chase_standard(start, &p.deps, &par(2)).unwrap();
+        assert_eq!(
+            canonical_render(&seq.instance),
+            canonical_render(&parl.instance)
+        );
+        // The unification resolved a's invented null to 9.
+        let mut ys: Vec<_> = parl
+            .instance
+            .tuples("T")
+            .filter_map(|t| t.get(1).unwrap().as_int())
+            .collect();
+        ys.sort_unstable();
+        assert_eq!(ys, vec![3, 9]);
+        assert!(all_satisfied(&parl.instance, &p.deps));
+    }
+
+    #[test]
+    fn denials_fail_deterministically() {
+        let p = parse_program(
+            "tgd a: S(x) -> T(x, x).\n\
+             dep n: T(x, x) -> false.",
+        )
+        .unwrap();
+        let res = chase_standard(inst(&[("S", &[1])]), &p.deps, &par(4));
+        match res {
+            Err(ChaseError::Failure { dependency, .. }) => {
+                assert_eq!(dependency.as_ref(), "n");
+            }
+            other => panic!("expected denial failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_budget_is_honored() {
+        let dep = parse_dependency("tgd m: R(x, y) -> R(y, z).").unwrap();
+        let res = chase_standard(inst(&[("R", &[1, 2])]), &[dep], &par(2).with_max_rounds(20));
+        assert!(matches!(res, Err(ChaseError::RoundLimit { rounds: 20 })));
+    }
+
+    #[test]
+    fn same_group_cascade_completes_within_a_sweep() {
+        // Forward-declared chain: worker-local routing lets the whole
+        // chain cascade inside one sweep, like the sequential round.
+        let p = parse_program(
+            "tgd t0: L0(x) -> L1(x).\n\
+             tgd t1: L1(x) -> L2(x).\n\
+             tgd t2: L2(x) -> L3(x).",
+        )
+        .unwrap();
+        let start = inst(&[("L0", &[1]), ("L0", &[2])]);
+        let seq = chase_standard(start.clone(), &p.deps, &ChaseConfig::default()).unwrap();
+        let parl = chase_standard(start, &p.deps, &par(2)).unwrap();
+        assert_eq!(seq.instance.to_string(), parl.instance.to_string());
+        assert_eq!(parl.instance.tuples("L3").count(), 2);
+        // The cascade needs no extra sweeps beyond the sequential rounds,
+        // and the barrier must not re-activate dependencies on tuples the
+        // worker-local routing already delivered.
+        assert_eq!(parl.stats.rounds, seq.stats.rounds);
+        assert_eq!(parl.stats.delta_activations, seq.stats.delta_activations);
+    }
+
+    #[test]
+    fn single_thread_parallel_mode_still_works() {
+        let p = parse_program("tgd a: S(x) -> T(x).").unwrap();
+        let res = chase_standard(inst(&[("S", &[5])]), &p.deps, &par(1)).unwrap();
+        assert_eq!(res.instance.tuples("T").count(), 1);
+    }
+}

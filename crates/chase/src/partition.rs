@@ -1,0 +1,225 @@
+//! Conflict-free dependency partitioning for the parallel chase executor.
+//!
+//! Two dependencies **conflict** when one's conclusion relations intersect
+//! the other's premise or conclusion relations: running them concurrently
+//! could hide a premise match (writer vs reader) or interleave writes into
+//! the same relation (writer vs writer). The [`Partition`] groups
+//! dependencies into the connected components of the conflict relation —
+//! within a group execution must stay in declaration order, across groups
+//! there is no interaction at all, so each group can run on its own worker
+//! against a shared snapshot.
+//!
+//! Dependencies whose conclusion contains an *equality* (egds and mixed
+//! tgd+egds) are excluded from every group: a null unification rewrites
+//! tuples in arbitrary relations (wherever the merged null occurs), so its
+//! effective write set is unbounded. The parallel loop runs them
+//! sequentially at their declaration position, which also keeps the shared
+//! [`NullMap`](crate::nullmap::NullMap) single-threaded.
+//!
+//! The premise side of the conflict test reuses the [`TriggerIndex`]: a
+//! dependency reads exactly the relations that trigger it.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use grom_lang::Dependency;
+
+use crate::trigger::TriggerIndex;
+
+/// The static partition of a dependency set into conflict-free groups.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// `group_of[k]` — the group of dependency `k`, or `None` when `k`
+    /// must run sequentially (its conclusion contains equalities).
+    group_of: Vec<Option<usize>>,
+    /// Members of each group, in dependency order.
+    groups: Vec<Vec<usize>>,
+}
+
+/// Does this dependency qualify for group execution? Anything without
+/// conclusion equalities: tgds, denials, and comparison-guarded tgds.
+fn parallel_safe(dep: &Dependency) -> bool {
+    dep.disjuncts.iter().all(|d| d.eqs.is_empty())
+}
+
+impl Partition {
+    /// Partition `deps` using `triggers` (built over the same slice) for
+    /// the premise-reader half of the conflict test.
+    pub fn build(deps: &[Dependency], triggers: &TriggerIndex) -> Self {
+        let n = deps.len();
+        let mut uf = UnionFind::new(n);
+
+        // Writer of each relation seen so far: writer/writer conflicts.
+        let mut concluded_by: BTreeMap<Arc<str>, usize> = BTreeMap::new();
+        for (k, dep) in deps.iter().enumerate() {
+            if !parallel_safe(dep) {
+                continue;
+            }
+            for disjunct in &dep.disjuncts {
+                for atom in &disjunct.atoms {
+                    let rel = &atom.predicate;
+                    // Writer vs writer on the same relation.
+                    match concluded_by.get(rel) {
+                        Some(&other) => uf.union(k, other),
+                        None => {
+                            concluded_by.insert(rel.clone(), k);
+                        }
+                    }
+                    // Writer vs reader: everything triggered by `rel`
+                    // reads it in its premise.
+                    for &reader in triggers.triggered_by(rel) {
+                        if parallel_safe(&deps[reader]) {
+                            uf.union(k, reader);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Roots → dense group ids, in first-member order.
+        let mut group_ids: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut group_of = vec![None; n];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (k, dep) in deps.iter().enumerate() {
+            if !parallel_safe(dep) {
+                continue;
+            }
+            let root = uf.find(k);
+            let g = *group_ids.entry(root).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            group_of[k] = Some(g);
+            groups[g].push(k);
+        }
+
+        Self { group_of, groups }
+    }
+
+    /// The group of dependency `k`, or `None` when it runs sequentially.
+    pub fn group_of(&self, k: usize) -> Option<usize> {
+        self.group_of[k]
+    }
+
+    /// Number of conflict-free groups (the parallelism ceiling).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Members of group `g`, in dependency order.
+    pub fn group(&self, g: usize) -> &[usize] {
+        &self.groups[g]
+    }
+}
+
+/// Plain union-find with path halving; small and allocation-free after
+/// construction.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic orientation: higher root joins lower.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_lang::parser::parse_program;
+
+    fn partition(text: &str) -> (Partition, usize) {
+        let p = parse_program(text).unwrap();
+        let triggers = TriggerIndex::build(&p.deps);
+        let n = p.deps.len();
+        (Partition::build(&p.deps, &triggers), n)
+    }
+
+    #[test]
+    fn independent_chains_form_one_group_each() {
+        let (part, n) = partition(
+            "tgd a0: A0(x) -> A1(x).\n\
+             tgd a1: A1(x) -> A2(x).\n\
+             tgd b0: B0(x) -> B1(x).\n\
+             tgd b1: B1(x) -> B2(x).",
+        );
+        assert_eq!(n, 4);
+        assert_eq!(part.group_count(), 2);
+        assert_eq!(part.group_of(0), part.group_of(1));
+        assert_eq!(part.group_of(2), part.group_of(3));
+        assert_ne!(part.group_of(0), part.group_of(2));
+        assert_eq!(part.group(0), &[0, 1]);
+        assert_eq!(part.group(1), &[2, 3]);
+    }
+
+    #[test]
+    fn shared_conclusion_relation_conflicts() {
+        // Both write T: writer/writer conflict, one group.
+        let (part, _) = partition(
+            "tgd a: S(x) -> T(x).\n\
+             tgd b: U(x) -> T(x).",
+        );
+        assert_eq!(part.group_count(), 1);
+    }
+
+    #[test]
+    fn reader_of_written_relation_conflicts() {
+        // b reads what a writes, even though their premises are disjoint.
+        let (part, _) = partition(
+            "tgd a: S(x) -> T(x).\n\
+             dep b: T(x), T(y) -> false.",
+        );
+        assert_eq!(part.group_count(), 1);
+        assert_eq!(part.group(0), &[0, 1]);
+    }
+
+    #[test]
+    fn egds_are_sequential_and_do_not_glue_groups() {
+        let (part, _) = partition(
+            "tgd a: A0(x) -> A1(x).\n\
+             egd e: A1(x, y1), A1(x, y2) -> y1 = y2.\n\
+             tgd b: B0(x) -> B1(x).",
+        );
+        assert_eq!(part.group_of(1), None);
+        assert_eq!(part.group_count(), 2);
+        assert_ne!(part.group_of(0), part.group_of(2));
+    }
+
+    #[test]
+    fn mixed_tgd_egd_disjunct_is_sequential() {
+        let (part, _) = partition("dep d: S(x, y) -> T(x), x = y.");
+        assert_eq!(part.group_of(0), None);
+        assert_eq!(part.group_count(), 0);
+    }
+
+    #[test]
+    fn source_only_tgds_are_independent() {
+        // Disjoint read and write sets: maximal parallelism.
+        let (part, _) = partition(
+            "tgd a: S(x) -> T(x).\n\
+             tgd b: U(x) -> V(x).\n\
+             tgd c: W(x) -> X(x).",
+        );
+        assert_eq!(part.group_count(), 3);
+    }
+}

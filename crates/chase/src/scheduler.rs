@@ -15,13 +15,18 @@
 //!
 //! Full premise rescans remain in exactly two places, both required for
 //! correctness: every dependency's **first** activation (the initial
-//! instance is one big delta), and after an **egd-driven null unification**
-//! (substitution rewrites tuples in place, so recorded deltas go stale —
-//! [`Scheduler::invalidate_all`]).
+//! instance is one big delta), and — after an **egd-driven null
+//! unification** — the dependencies whose premise reads a relation the
+//! substitution actually rewrote. [`Instance::substitute_nulls`] reports
+//! the rewritten relations, so deltas of dependencies reading only
+//! untouched relations survive the merge ([`Scheduler::invalidate_readers`]
+//! / [`Scheduler::post_surviving`]); the blanket
+//! [`Scheduler::invalidate_all`] remains as the conservative fallback.
 //!
 //! The scheduler is shared by every chase variant: [`crate::standard`] runs
 //! it directly, the greedy and exhaustive ded chases of [`crate::ded`] run
-//! their per-scenario / per-node closures through it, and
+//! their per-scenario / per-node closures through it, [`crate::parallel`]
+//! drives the same worklist with worker-pool sweeps, and
 //! [`crate::core_min`] reuses the same changed-relation reporting to keep
 //! its null-occurrence index incremental.
 
@@ -31,7 +36,7 @@ use std::sync::Arc;
 use grom_data::{DeltaLog, Instance, NullGenerator, Tuple};
 use grom_lang::{Bindings, Dependency, Var};
 
-use grom_engine::{disjunct_satisfied, evaluate_body_from_delta, Control};
+use grom_engine::{disjunct_satisfied, evaluate_body_from_delta, Control, Db};
 
 use crate::config::ChaseConfig;
 use crate::nullmap::NullMap;
@@ -41,7 +46,7 @@ use crate::trigger::TriggerIndex;
 
 /// Pending work for one dependency.
 #[derive(Debug, Clone)]
-enum Pending {
+pub(crate) enum Pending {
     /// Nothing new since the premise was last evaluated.
     Idle,
     /// Evaluate the premise against the full instance (first activation, or
@@ -49,6 +54,26 @@ enum Pending {
     Full,
     /// Evaluate seeded from these per-relation delta tuples only.
     Delta(BTreeMap<Arc<str>, Vec<Tuple>>),
+}
+
+impl Pending {
+    /// Fold freshly routed tuples of `rel` into this slot. `Full` already
+    /// subsumes any delta; `Idle` wakes up.
+    pub(crate) fn add_delta(&mut self, rel: &Arc<str>, tuples: &[Tuple]) {
+        match self {
+            Pending::Full => {}
+            Pending::Delta(map) => {
+                map.entry(rel.clone())
+                    .or_default()
+                    .extend(tuples.iter().cloned());
+            }
+            slot @ Pending::Idle => {
+                let mut map = BTreeMap::new();
+                map.insert(rel.clone(), tuples.to_vec());
+                *slot = Pending::Delta(map);
+            }
+        }
+    }
 }
 
 /// The worklist: per-dependency pending state plus the trigger index that
@@ -74,8 +99,13 @@ impl Scheduler {
         !self.pending.iter().all(|p| matches!(p, Pending::Idle))
     }
 
+    /// The trigger index routing relations to their premise readers.
+    pub fn triggers(&self) -> &TriggerIndex {
+        &self.triggers
+    }
+
     /// Claim dependency `k`'s pending work, leaving it idle.
-    fn take(&mut self, k: usize) -> Pending {
+    pub(crate) fn take(&mut self, k: usize) -> Pending {
         std::mem::replace(&mut self.pending[k], Pending::Idle)
     }
 
@@ -83,39 +113,75 @@ impl Scheduler {
     /// relations trigger.
     pub fn post(&mut self, delta: &DeltaLog) {
         debug_assert!(!delta.invalidated(), "stale deltas must invalidate");
+        self.post_surviving(delta, &[]);
+    }
+
+    /// Route a delta batch, skipping tuples of the `stale` relations (those
+    /// a null substitution rewrote after the batch was logged — their
+    /// readers are rescheduled for full rescans instead, see
+    /// [`Scheduler::invalidate_readers`]).
+    pub fn post_surviving(&mut self, delta: &DeltaLog, stale: &[Arc<str>]) {
+        for (rel, tuples) in delta.relations() {
+            if stale.contains(rel) {
+                continue;
+            }
+            for &k in self.triggers.triggered_by(rel) {
+                self.pending[k].add_delta(rel, tuples);
+            }
+        }
+    }
+
+    /// Route a parallel job's delta batch, skipping per-dependency prefixes
+    /// the job already delivered in-sweep: `consumed[(k, rel)] = c` means
+    /// dependency `k` consumed the first `c` tuples of `rel` through the
+    /// worker-local routing, so only the remainder is posted to it.
+    pub(crate) fn post_job(
+        &mut self,
+        delta: &DeltaLog,
+        consumed: &BTreeMap<(usize, Arc<str>), usize>,
+    ) {
+        debug_assert!(!delta.invalidated(), "stale deltas must invalidate");
         for (rel, tuples) in delta.relations() {
             for &k in self.triggers.triggered_by(rel) {
-                match &mut self.pending[k] {
-                    Pending::Full => {}
-                    Pending::Delta(map) => {
-                        map.entry(rel.clone())
-                            .or_default()
-                            .extend(tuples.iter().cloned());
-                    }
-                    slot @ Pending::Idle => {
-                        let mut map = BTreeMap::new();
-                        map.insert(rel.clone(), tuples.to_vec());
-                        *slot = Pending::Delta(map);
-                    }
+                let skip = consumed.get(&(k, rel.clone())).copied().unwrap_or(0);
+                if skip < tuples.len() {
+                    self.pending[k].add_delta(rel, &tuples[skip..]);
                 }
             }
         }
     }
 
-    /// Schedule every dependency for a full rescan (deltas went stale after
-    /// a null substitution).
+    /// Schedule every dependency for a full rescan. The conservative
+    /// fallback when delta provenance is unknown; the chase loops prefer
+    /// the targeted [`Scheduler::invalidate_readers`].
     pub fn invalidate_all(&mut self) {
         for p in &mut self.pending {
             *p = Pending::Full;
+        }
+    }
+
+    /// Schedule a full rescan for every dependency whose premise reads one
+    /// of the `changed` relations — the relations a null substitution
+    /// actually rewrote, per the report of
+    /// [`Instance::substitute_nulls`]. Deltas of dependencies reading only
+    /// untouched relations stay valid: a relation is only *unchanged* when
+    /// the substitution mapped none of the nulls occurring in it, so every
+    /// tuple logged for it is still stored verbatim.
+    pub fn invalidate_readers(&mut self, changed: &[Arc<str>]) {
+        for rel in changed {
+            for &k in self.triggers.triggered_by(rel) {
+                self.pending[k] = Pending::Full;
+            }
         }
     }
 }
 
 /// Violating premise matches of `dep` seeded from per-relation deltas,
 /// deduplicated across anchor positions, in deterministic order. With
-/// `stop_at_first` (denials) at most one match is returned.
-fn delta_violations(
-    inst: &Instance,
+/// `stop_at_first` (denials) at most one match is returned. Generic over
+/// [`Db`] so the parallel executor can evaluate against snapshot views.
+pub(crate) fn delta_violations(
+    db: &impl Db,
     dep: &Dependency,
     delta: &BTreeMap<Arc<str>, Vec<Tuple>>,
     stop_at_first: bool,
@@ -123,8 +189,8 @@ fn delta_violations(
     let mut seen: BTreeSet<Vec<(Var, grom_data::Value)>> = BTreeSet::new();
     let mut out = Vec::new();
     for (rel, tuples) in delta {
-        evaluate_body_from_delta(inst, &dep.premise, rel, tuples, |b| {
-            if !dep.disjuncts.iter().any(|d| disjunct_satisfied(inst, d, b)) {
+        evaluate_body_from_delta(db, &dep.premise, rel, tuples, |b| {
+            if !dep.disjuncts.iter().any(|d| disjunct_satisfied(db, d, b)) {
                 let key: Vec<_> = b.iter().map(|(v, val)| (v.clone(), val.clone())).collect();
                 if seen.insert(key) {
                     out.push(b.clone());
@@ -140,6 +206,89 @@ fn delta_violations(
         }
     }
     out
+}
+
+/// Process one dependency's claimed worklist entry against the master
+/// instance: evaluate its violations (full or delta-seeded), repair them,
+/// and feed the resulting deltas — or, after an egd merge, the targeted
+/// invalidation — back into the scheduler.
+///
+/// Shared by the sequential delta loop below and the sequential tail of the
+/// parallel executor (egds and mixed disjuncts run here in both modes).
+/// The worker-side twin is `run_group_job` in [`crate::parallel`] — keep
+/// the claim/evaluate/denial structure of the two in sync.
+pub(crate) fn run_dep_sequential(
+    inst: &mut Instance,
+    deps: &[Dependency],
+    k: usize,
+    sched: &mut Scheduler,
+    nullmap: &mut NullMap,
+    nullgen: &mut NullGenerator,
+    stats: &mut ChaseStats,
+) -> Result<(), ChaseError> {
+    let dep = &deps[k];
+    let violations = match sched.take(k) {
+        Pending::Idle => return Ok(()),
+        Pending::Full => {
+            stats.full_rescans += 1;
+            if dep.is_denial() {
+                if let Some(v) = grom_engine::find_violation(inst, dep) {
+                    return Err(ChaseError::Failure {
+                        dependency: dep.name.clone(),
+                        detail: format!("denial premise matched at {}", v.bindings),
+                    });
+                }
+                return Ok(());
+            }
+            collect_violations(inst, dep)
+        }
+        Pending::Delta(map) => {
+            stats.delta_activations += 1;
+            stats.delta_tuples_seeded += map.values().map(Vec::len).sum::<usize>();
+            let vs = delta_violations(inst, dep, &map, dep.is_denial());
+            if dep.is_denial() {
+                if let Some(b) = vs.first() {
+                    return Err(ChaseError::Failure {
+                        dependency: dep.name.clone(),
+                        detail: format!("denial premise matched at {b}"),
+                    });
+                }
+                return Ok(());
+            }
+            vs
+        }
+    };
+    if violations.is_empty() {
+        return Ok(());
+    }
+
+    let mut any_merge = false;
+    for b in &violations {
+        let b = resolve_bindings(b, nullmap);
+        // Re-check under the resolved bindings: earlier repairs in this
+        // batch may already satisfy the match (exactly as in the
+        // full-rescan loop).
+        if disjunct_satisfied(inst, &dep.disjuncts[0], &b) {
+            continue;
+        }
+        let merged = apply_disjunct(inst, dep, 0, &b, nullmap, nullgen, stats)?;
+        any_merge |= merged;
+    }
+
+    let log = inst.take_delta();
+    if any_merge {
+        // Null unification rewrites tuples in place, but only in the
+        // relations the substitution reports as changed: their logged
+        // deltas are stale (readers go back to full rescans), everything
+        // else survives and is routed as usual.
+        let changed = inst.substitute_nulls(|id| nullmap.lookup(id));
+        inst.take_delta(); // discard the invalidation marker
+        sched.invalidate_readers(&changed);
+        sched.post_surviving(&log, &changed);
+    } else if !log.is_empty() {
+        sched.post(&log);
+    }
+    Ok(())
 }
 
 /// The delta-driven standard chase: same semantics and failure modes as
@@ -172,73 +321,16 @@ pub(crate) fn chase_standard_delta(
             break;
         }
 
-        for (k, dep) in deps.iter().enumerate() {
-            let violations = match sched.take(k) {
-                Pending::Idle => continue,
-                Pending::Full => {
-                    stats.full_rescans += 1;
-                    if dep.is_denial() {
-                        if let Some(v) = grom_engine::find_violation(&inst, dep) {
-                            return Err(ChaseError::Failure {
-                                dependency: dep.name.clone(),
-                                detail: format!("denial premise matched at {}", v.bindings),
-                            });
-                        }
-                        continue;
-                    }
-                    collect_violations(&inst, dep)
-                }
-                Pending::Delta(map) => {
-                    stats.delta_activations += 1;
-                    stats.delta_tuples_seeded += map.values().map(Vec::len).sum::<usize>();
-                    let vs = delta_violations(&inst, dep, &map, dep.is_denial());
-                    if dep.is_denial() {
-                        if let Some(b) = vs.first() {
-                            return Err(ChaseError::Failure {
-                                dependency: dep.name.clone(),
-                                detail: format!("denial premise matched at {b}"),
-                            });
-                        }
-                        continue;
-                    }
-                    vs
-                }
-            };
-            if violations.is_empty() {
-                continue;
-            }
-
-            let mut any_merge = false;
-            for b in &violations {
-                let b = resolve_bindings(b, &mut nullmap);
-                // Re-check under the resolved bindings: earlier repairs in
-                // this batch may already satisfy the match (exactly as in
-                // the full-rescan loop).
-                if disjunct_satisfied(&inst, &dep.disjuncts[0], &b) {
-                    continue;
-                }
-                let merged = apply_disjunct(
-                    &mut inst,
-                    dep,
-                    0,
-                    &b,
-                    &mut nullmap,
-                    &mut nullgen,
-                    &mut stats,
-                )?;
-                any_merge |= merged;
-            }
-
-            let log = inst.take_delta();
-            if any_merge {
-                // Null unification rewrites tuples in place: the logged
-                // deltas (and everything previously routed) are stale.
-                inst.substitute_nulls(|id| nullmap.lookup(id));
-                inst.take_delta(); // discard the invalidation marker
-                sched.invalidate_all();
-            } else if !log.is_empty() {
-                sched.post(&log);
-            }
+        for k in 0..deps.len() {
+            run_dep_sequential(
+                &mut inst,
+                deps,
+                k,
+                &mut sched,
+                &mut nullmap,
+                &mut nullgen,
+                &mut stats,
+            )?;
         }
     }
 
@@ -289,5 +381,51 @@ mod tests {
         assert!(!sched.has_work());
         sched.invalidate_all();
         assert!(matches!(sched.take(0), Pending::Full));
+    }
+
+    #[test]
+    fn targeted_invalidation_spares_unrelated_readers() {
+        let p = parse_program(
+            "tgd a: A(x) -> A2(x).\n\
+             tgd b: B(x) -> B2(x).",
+        )
+        .unwrap();
+        let mut sched = Scheduler::new(&p.deps);
+        for k in 0..p.deps.len() {
+            sched.take(k);
+        }
+        // Both dependencies hold pending deltas...
+        let mut inst = Instance::new();
+        inst.begin_delta_tracking();
+        inst.add("A", vec![Value::int(1)]).unwrap();
+        inst.add("B", vec![Value::int(2)]).unwrap();
+        sched.post(&inst.take_delta());
+        // ...then a substitution rewrites only A: its reader goes Full,
+        // B's reader keeps its delta.
+        sched.invalidate_readers(&[Arc::from("A")]);
+        assert!(matches!(sched.take(0), Pending::Full));
+        assert!(matches!(sched.take(1), Pending::Delta(_)));
+    }
+
+    #[test]
+    fn post_surviving_skips_stale_relations() {
+        let p = parse_program(
+            "tgd a: A(x) -> A2(x).\n\
+             tgd b: B(x) -> B2(x).",
+        )
+        .unwrap();
+        let mut sched = Scheduler::new(&p.deps);
+        for k in 0..p.deps.len() {
+            sched.take(k);
+        }
+        let mut inst = Instance::new();
+        inst.begin_delta_tracking();
+        inst.add("A", vec![Value::int(1)]).unwrap();
+        inst.add("B", vec![Value::int(2)]).unwrap();
+        let log = inst.take_delta();
+        sched.post_surviving(&log, &[Arc::from("A")]);
+        // A's tuples were stale and dropped; B's were routed.
+        assert!(matches!(sched.take(0), Pending::Idle));
+        assert!(matches!(sched.take(1), Pending::Delta(_)));
     }
 }

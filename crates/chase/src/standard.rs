@@ -69,6 +69,9 @@ pub(crate) fn resolve_bindings(b: &Bindings, nm: &mut NullMap) -> Bindings {
 
 /// Apply one disjunct to repair a violation. Returns `true` if any null
 /// merge happened (the caller must re-normalize the instance).
+/// The parallel executor's equality-free twin is `apply_group_disjunct`
+/// in [`crate::parallel`] — keep the comparison and atom semantics of the
+/// two in sync.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_disjunct(
     inst: &mut Instance,
@@ -157,10 +160,12 @@ fn eval_bound_term(t: &Term, bindings: &Bindings, dep: &Dependency) -> Result<Va
 ///
 /// Dispatches on [`ChaseConfig::scheduler`]: the default delta-driven
 /// scheduler ([`crate::scheduler`]) seeds premise evaluation from the
-/// tuples inserted since each dependency was last checked; the legacy
-/// full-rescan loop re-evaluates every premise against the whole instance
-/// each round. Both produce the same solutions (up to the usual renaming of
-/// labeled nulls) and the same failure modes.
+/// tuples inserted since each dependency was last checked; the parallel
+/// executor ([`crate::parallel`]) runs the same worklist in worker-pool
+/// sweeps over conflict-free dependency groups; the legacy full-rescan
+/// loop re-evaluates every premise against the whole instance each round.
+/// All produce the same solutions (up to the usual renaming of labeled
+/// nulls) and the same failure modes.
 pub fn chase_standard(
     start: Instance,
     deps: &[Dependency],
@@ -171,6 +176,9 @@ pub fn chase_standard(
             crate::scheduler::chase_standard_delta(start, deps, config)
         }
         crate::config::SchedulerMode::FullRescan => chase_standard_full_rescan(start, deps, config),
+        crate::config::SchedulerMode::Parallel { threads } => {
+            crate::parallel::chase_standard_parallel(start, deps, config, threads)
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 //! grom rewrite  <scenario.grom>                      print the rewritten program
 //! grom analyze  <scenario.grom>                      restriction report (problematic views)
 //! grom run      <scenario.grom> [data.facts]         full pipeline; prints J_T
-//!               [--core] [--no-validate] [--quiet]
+//!               [--core] [--no-validate] [--quiet] [--threads N]
 //! grom validate <scenario.grom> <source.facts> <target.facts>
 //!                                                    check an existing solution
 //! ```
@@ -21,7 +21,8 @@ use grom::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  grom rewrite  <scenario.grom>\n  grom analyze  <scenario.grom>\n  \
-         grom run      <scenario.grom> [data.facts] [--core] [--no-validate] [--quiet]\n  \
+         grom run      <scenario.grom> [data.facts] [--core] [--no-validate] [--quiet] \
+         [--threads N]\n  \
          grom validate <scenario.grom> <source.facts> <target.facts>"
     );
     ExitCode::from(2)
@@ -99,11 +100,19 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
     let mut core = false;
     let mut no_validate = false;
     let mut quiet = false;
-    for arg in rest {
+    let mut threads: Option<usize> = None;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--core" => core = true,
             "--no-validate" => no_validate = true,
             "--quiet" => quiet = true,
+            "--threads" => {
+                threads = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => return fail("--threads requires a positive integer"),
+                };
+            }
             flag if flag.starts_with("--") => {
                 return fail(format!("unknown flag `{flag}`"));
             }
@@ -126,11 +135,14 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
         }
     }
 
-    let options = PipelineOptions {
+    let mut options = PipelineOptions {
         skip_validation: no_validate,
         core_minimize: core,
         ..Default::default()
     };
+    if let Some(n) = threads {
+        options = options.with_threads(n);
+    }
     match scenario.run(&source, &options) {
         Ok(result) => {
             print!("{}", result.target);

@@ -70,5 +70,6 @@ pub mod prelude {
 pub use grom_chase as chase;
 pub use grom_data as data;
 pub use grom_engine as engine;
+pub use grom_exec as exec;
 pub use grom_lang as lang;
 pub use grom_rewrite as rewrite;

@@ -33,4 +33,4 @@ pub use instance::{DeltaLog, Instance, Relation};
 pub use io::{canonical_render, read_instance, write_instance, ReadError};
 pub use schema::{ColumnSchema, ColumnType, RelationSchema, Schema};
 pub use tuple::{Fact, Tuple};
-pub use value::{NullGenerator, NullId, Value};
+pub use value::{NullGenerator, NullId, StridedNullGenerator, Value};

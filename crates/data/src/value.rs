@@ -184,6 +184,59 @@ impl NullGenerator {
     pub fn peek_next(&self) -> u64 {
         self.next
     }
+
+    /// Move the generator forward so its next label is at least `next`.
+    /// Never moves backwards. The parallel chase executor uses this to
+    /// re-synchronize the run-level generator after a sweep in which
+    /// workers allocated from disjoint strided ranges.
+    pub fn advance_to(&mut self, next: u64) {
+        self.next = self.next.max(next);
+    }
+}
+
+/// Allocator for fresh labeled nulls drawn from a strided (residue-class)
+/// label range: worker `offset` of a pool of `stride` workers allocates the
+/// labels `start + offset`, `start + offset + stride`, `start + offset +
+/// 2·stride`, …
+///
+/// Distinct offsets under the same `(start, stride)` produce disjoint label
+/// sets of unbounded size, so parallel chase workers can invent nulls
+/// without coordination and without a cap on per-worker allocations; the
+/// ranges are a deterministic function of the job index, keeping runs
+/// reproducible regardless of thread scheduling.
+#[derive(Debug, Clone)]
+pub struct StridedNullGenerator {
+    next: u64,
+    stride: u64,
+    last: Option<u64>,
+}
+
+impl StridedNullGenerator {
+    /// The generator for worker `offset` of `stride` workers, starting the
+    /// shared range at `start`. `offset` must be below `stride`.
+    pub fn new(start: u64, offset: u64, stride: u64) -> Self {
+        debug_assert!(stride >= 1 && offset < stride);
+        Self {
+            next: start + offset,
+            stride: stride.max(1),
+            last: None,
+        }
+    }
+
+    /// Allocate a fresh labeled null from this worker's range.
+    pub fn fresh(&mut self) -> Value {
+        let id = self.next;
+        self.next += self.stride;
+        self.last = Some(id);
+        Value::Null(NullId(id))
+    }
+
+    /// The largest label allocated so far, if any. The sweep barrier folds
+    /// this into the run-level [`NullGenerator`] via
+    /// [`NullGenerator::advance_to`].
+    pub fn max_allocated(&self) -> Option<u64> {
+        self.last
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +291,25 @@ mod tests {
         assert_eq!(h.fresh(), Value::null(10));
         assert_eq!(g.fresh(), Value::null(2));
         assert_eq!(g.peek_next(), 3);
+    }
+
+    #[test]
+    fn strided_generators_are_disjoint_and_deterministic() {
+        let mut a = StridedNullGenerator::new(10, 0, 3);
+        let mut b = StridedNullGenerator::new(10, 1, 3);
+        assert_eq!(a.max_allocated(), None);
+        assert_eq!(a.fresh(), Value::null(10));
+        assert_eq!(a.fresh(), Value::null(13));
+        assert_eq!(b.fresh(), Value::null(11));
+        assert_eq!(b.fresh(), Value::null(14));
+        assert_eq!(a.max_allocated(), Some(13));
+        assert_eq!(b.max_allocated(), Some(14));
+
+        let mut g = NullGenerator::starting_at(10);
+        g.advance_to(15);
+        assert_eq!(g.fresh(), Value::null(15));
+        g.advance_to(3); // never moves backwards
+        assert_eq!(g.fresh(), Value::null(16));
     }
 
     #[test]

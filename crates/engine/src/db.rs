@@ -1,25 +1,61 @@
 //! The database abstraction the engine evaluates over.
 //!
 //! Source-to-target dependencies read two instances at once (the source
-//! `I_S` and the growing target `J_T`); views read one. [`Db`] abstracts
-//! over both so the same join code serves every caller.
+//! `I_S` and the growing target `J_T`); views read one; the parallel chase
+//! executor reads an immutable snapshot *overlaid* with a worker's private
+//! insertion buffer. [`Db`] abstracts over all of them so the same join
+//! code serves every caller.
+//!
+//! The trait deliberately exposes *query* primitives (scan / estimate /
+//! existence) rather than handing out `&Relation`: a composite database —
+//! [`PairDb`], or the shard views of `grom-exec` — has no single relation
+//! object to return for a name stored on both sides, but it can always
+//! answer a pattern query by combining its parts.
 
-use grom_data::{Instance, Relation};
+use grom_data::{Instance, Relation, Tuple, Value};
 
-/// Read access to a set of relations by name.
+/// Read access to a set of relations by name, via pattern queries.
+///
+/// Patterns follow [`Relation::scan`]: `pattern[i] = Some(v)` constrains
+/// column `i` to equal `v`; `None` leaves it free. Absent relations behave
+/// as empty: `scan` yields nothing, `any_match` is false, `estimate` and
+/// `relation_len` are zero.
 pub trait Db {
-    /// The relation called `name`, if present and non-empty.
-    fn relation(&self, name: &str) -> Option<&Relation>;
+    /// Tuples of `relation` matching `pattern`, in insertion order.
+    fn scan_relation<'a>(&'a self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'a Tuple>;
 
-    /// Number of tuples in `name` (0 if absent) — used by the join planner.
-    fn relation_len(&self, name: &str) -> usize {
-        self.relation(name).map_or(0, Relation::len)
-    }
+    /// An index-based upper bound on the number of tuples matching
+    /// `pattern` — the join planner's cardinality estimate.
+    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize;
+
+    /// Does any tuple of `relation` match `pattern`? Cheaper than
+    /// [`Db::scan_relation`] when only existence matters (negated literals,
+    /// denial checks).
+    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool;
+
+    /// Number of tuples in `relation` (0 if absent).
+    fn relation_len(&self, relation: &str) -> usize;
 }
 
 impl Db for Instance {
-    fn relation(&self, name: &str) -> Option<&Relation> {
-        Instance::relation(self, name)
+    fn scan_relation<'a>(&'a self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'a Tuple> {
+        self.relation(relation)
+            .map(|rel| rel.scan(pattern))
+            .unwrap_or_default()
+    }
+
+    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize {
+        self.relation(relation)
+            .map_or(0, |rel| rel.estimate(pattern))
+    }
+
+    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool {
+        self.relation(relation)
+            .is_some_and(|rel| rel.any_match(pattern))
+    }
+
+    fn relation_len(&self, relation: &str) -> usize {
+        self.relation(relation).map_or(0, Relation::len)
     }
 }
 
@@ -36,13 +72,38 @@ impl<'a> PairDb<'a> {
     pub fn new(first: &'a Instance, second: &'a Instance) -> Self {
         Self { first, second }
     }
+
+    /// The instance holding `name`, if either does (first wins).
+    fn side(&self, name: &str) -> Option<&'a Instance> {
+        if self.first.relation(name).is_some() {
+            Some(self.first)
+        } else if self.second.relation(name).is_some() {
+            Some(self.second)
+        } else {
+            None
+        }
+    }
 }
 
 impl Db for PairDb<'_> {
-    fn relation(&self, name: &str) -> Option<&Relation> {
-        self.first
-            .relation(name)
-            .or_else(|| self.second.relation(name))
+    fn scan_relation<'a>(&'a self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'a Tuple> {
+        self.side(relation)
+            .map(|i| i.scan_relation(relation, pattern))
+            .unwrap_or_default()
+    }
+
+    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize {
+        self.side(relation)
+            .map_or(0, |i| i.estimate_relation(relation, pattern))
+    }
+
+    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool {
+        self.side(relation)
+            .is_some_and(|i| i.any_match_relation(relation, pattern))
+    }
+
+    fn relation_len(&self, relation: &str) -> usize {
+        self.side(relation).map_or(0, |i| i.relation_len(relation))
     }
 }
 
@@ -58,10 +119,14 @@ mod tests {
         let mut b = Instance::new();
         b.add("T", vec![Value::int(2)]).unwrap();
         let db = PairDb::new(&a, &b);
-        assert!(db.relation("S").is_some());
-        assert!(db.relation("T").is_some());
-        assert!(db.relation("U").is_none());
+        assert_eq!(db.scan_relation("S", &[None]).len(), 1);
+        assert_eq!(db.scan_relation("T", &[None]).len(), 1);
+        assert!(db.scan_relation("U", &[None]).is_empty());
+        assert!(db.any_match_relation("S", &[Some(Value::int(1))]));
+        assert!(!db.any_match_relation("S", &[Some(Value::int(9))]));
         assert_eq!(db.relation_len("S"), 1);
         assert_eq!(db.relation_len("U"), 0);
+        assert_eq!(db.estimate_relation("T", &[None]), 1);
+        assert_eq!(db.estimate_relation("U", &[None]), 0);
     }
 }

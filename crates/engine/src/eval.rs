@@ -150,10 +150,8 @@ fn run_filter(db: &impl Db, lit: &Literal, bindings: &Bindings) -> bool {
         Literal::Cmp(c) => bindings.eval_comparison(c).unwrap_or(false),
         Literal::Neg(a) => {
             let pattern = bindings.atom_pattern(a);
-            match db.relation(&a.predicate) {
-                None => true, // empty relation: negation holds
-                Some(rel) => !rel.any_match(&pattern),
-            }
+            // Absent relations are empty, so the negation holds.
+            !db.any_match_relation(&a.predicate, &pattern)
         }
         Literal::Pos(_) => unreachable!("positive atoms are not filters"),
     }
@@ -227,13 +225,8 @@ fn solve(
     let mut best: Option<(usize, usize)> = None; // (idx, estimate)
     for (i, lit) in remaining.iter().enumerate() {
         if let Literal::Pos(a) = lit {
-            let estimate = match db.relation(&a.predicate) {
-                None => 0,
-                Some(rel) => {
-                    let pattern = bindings.atom_pattern(a);
-                    rel.estimate(&pattern)
-                }
-            };
+            let pattern = bindings.atom_pattern(a);
+            let estimate = db.estimate_relation(&a.predicate, &pattern);
             if best.is_none_or(|(_, be)| estimate < be) {
                 best = Some((i, estimate));
             }
@@ -253,11 +246,8 @@ fn solve(
         _ => unreachable!(),
     };
     let ctrl = 'expand: {
-        let Some(rel) = db.relation(&atom.predicate) else {
-            break 'expand Control::Continue; // empty relation: no matches
-        };
         let pattern = bindings.atom_pattern(atom);
-        for tuple in rel.scan(&pattern) {
+        for tuple in db.scan_relation(&atom.predicate, &pattern) {
             if let Some(bound_here) = bind_tuple(atom, tuple, bindings) {
                 let ctrl = solve(db, remaining, bindings, bindable, visit);
                 for v in &bound_here {

@@ -1,0 +1,171 @@
+//! Shard views: an immutable instance snapshot overlaid with a private
+//! insertion buffer.
+//!
+//! A [`ShardView`] is what one chase worker evaluates against during a
+//! parallel sweep. Reads ([`Db`] queries) see the union of the shared
+//! snapshot and the worker's own buffer — so a dependency's premise joins
+//! observe the repairs the *same worker* made earlier in the sweep, exactly
+//! like the sequential loop. Writes go only to the buffer, deduplicated
+//! against both layers, and are recorded in a [`DeltaLog`] the coordinator
+//! merges at the sweep barrier.
+//!
+//! The two layers are disjoint by construction (a tuple already present in
+//! the snapshot is never added to the buffer), so union queries need no
+//! deduplication and tuple counts simply add.
+
+use std::sync::Arc;
+
+use grom_data::{DataError, DeltaLog, Instance, Tuple, Value};
+use grom_engine::Db;
+
+/// An instance snapshot plus a private write buffer, presented as one
+/// database.
+#[derive(Debug)]
+pub struct ShardView<'a> {
+    base: &'a Instance,
+    /// The worker's buffered insertions; always delta-tracked, always
+    /// disjoint from `base`.
+    local: Instance,
+}
+
+impl<'a> ShardView<'a> {
+    /// A fresh view over `base` with an empty buffer.
+    pub fn new(base: &'a Instance) -> Self {
+        let mut local = Instance::new();
+        local.begin_delta_tracking();
+        Self { base, local }
+    }
+
+    /// The shared snapshot this view reads through to.
+    pub fn base(&self) -> &'a Instance {
+        self.base
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` iff it is new to *both* layers.
+    /// Arity is checked against whichever layer already fixed it.
+    pub fn insert(&mut self, relation: &Arc<str>, tuple: Tuple) -> Result<bool, DataError> {
+        if let Some(arity) = self.base.relation(relation).and_then(|r| r.arity()) {
+            if arity != tuple.arity() {
+                return Err(DataError::ArityMismatch {
+                    relation: relation.clone(),
+                    expected: arity,
+                    actual: tuple.arity(),
+                });
+            }
+        }
+        if self.base.contains_fact(relation, &tuple) {
+            return Ok(false);
+        }
+        self.local.insert(relation, tuple)
+    }
+
+    /// Drain the log of insertions buffered since the last drain.
+    pub fn take_delta(&mut self) -> DeltaLog {
+        self.local.take_delta()
+    }
+
+    /// Total buffered tuples (across all drains' worth still stored).
+    pub fn buffered_len(&self) -> usize {
+        self.local.len()
+    }
+}
+
+impl Db for ShardView<'_> {
+    fn scan_relation<'b>(&'b self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'b Tuple> {
+        // Snapshot rows first, then buffered rows: insertion order across
+        // the union, since everything in the buffer is newer.
+        let mut out = self.base.scan_relation(relation, pattern);
+        out.extend(self.local.scan_relation(relation, pattern));
+        out
+    }
+
+    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize {
+        self.base.estimate_relation(relation, pattern)
+            + self.local.estimate_relation(relation, pattern)
+    }
+
+    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool {
+        self.base.any_match_relation(relation, pattern)
+            || self.local.any_match_relation(relation, pattern)
+    }
+
+    fn relation_len(&self, relation: &str) -> usize {
+        self.base.relation_len(relation) + self.local.relation_len(relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::int(i)
+    }
+
+    fn rel(name: &str) -> Arc<str> {
+        Arc::from(name)
+    }
+
+    #[test]
+    fn reads_union_base_and_buffer() {
+        let mut base = Instance::new();
+        base.add("R", vec![v(1), v(10)]).unwrap();
+        base.add("R", vec![v(2), v(20)]).unwrap();
+
+        let mut view = ShardView::new(&base);
+        assert!(view
+            .insert(&rel("R"), Tuple::new(vec![v(3), v(30)]))
+            .unwrap());
+        assert!(view.insert(&rel("S"), Tuple::new(vec![v(7)])).unwrap());
+
+        // Union scan: base rows first, then buffered rows.
+        let rows: Vec<i64> = view
+            .scan_relation("R", &[None, None])
+            .iter()
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(rows, vec![1, 2, 3]);
+        assert_eq!(view.relation_len("R"), 3);
+        assert_eq!(view.relation_len("S"), 1);
+        assert_eq!(view.estimate_relation("R", &[Some(v(3)), None]), 1);
+        assert!(view.any_match_relation("R", &[Some(v(1)), None]));
+        assert!(view.any_match_relation("S", &[Some(v(7))]));
+        assert!(!view.any_match_relation("S", &[Some(v(8))]));
+    }
+
+    #[test]
+    fn inserts_dedup_against_both_layers() {
+        let mut base = Instance::new();
+        base.add("R", vec![v(1)]).unwrap();
+        let mut view = ShardView::new(&base);
+        assert!(!view.insert(&rel("R"), Tuple::new(vec![v(1)])).unwrap());
+        assert!(view.insert(&rel("R"), Tuple::new(vec![v(2)])).unwrap());
+        assert!(!view.insert(&rel("R"), Tuple::new(vec![v(2)])).unwrap());
+        let log = view.take_delta();
+        assert_eq!(log.len(), 1); // only the genuinely new tuple is logged
+        assert!(view.take_delta().is_empty());
+    }
+
+    #[test]
+    fn arity_checked_against_base() {
+        let mut base = Instance::new();
+        base.add("R", vec![v(1), v(2)]).unwrap();
+        let mut view = ShardView::new(&base);
+        let err = view.insert(&rel("R"), Tuple::new(vec![v(1)])).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn barrier_merge_roundtrip() {
+        let mut base = Instance::new();
+        base.add("R", vec![v(1)]).unwrap();
+        let mut view = ShardView::new(&base);
+        view.insert(&rel("R"), Tuple::new(vec![v(2)])).unwrap();
+        view.insert(&rel("S"), Tuple::new(vec![v(3)])).unwrap();
+        let log = view.take_delta();
+
+        let mut master = base.clone();
+        assert_eq!(master.absorb_delta(&log).unwrap(), 2);
+        assert_eq!(master.len(), 3);
+    }
+}

@@ -1,5 +1,6 @@
-//! Property tests for the delta-driven chase scheduler: on randomly
-//! generated **weakly acyclic** programs, the delta scheduler and the
+//! Property tests for the delta-driven chase scheduler and the parallel
+//! chase executor: on randomly generated **weakly acyclic** programs, the
+//! delta scheduler, the parallel executor (at 2 and 4 threads) and the
 //! classical full-rescan loop must produce identical instances —
 //! relation by relation, up to the usual renaming of labeled nulls —
 //! and agree on every failure mode.
@@ -79,15 +80,26 @@ fn arb_wa_program() -> impl Strategy<Value = Vec<Dependency>> {
         prop::collection::vec(arb_tgd(), 1..4),
         prop::collection::vec(arb_egd(), 0..2),
     )
-        .prop_map(|(mut tgds, egds)| {
+        .prop_map(|(mut tgds, mut egds)| {
             for (i, d) in tgds.iter_mut().enumerate() {
                 d.name = format!("t{i}").into();
             }
-            let mut deps = tgds;
-            for (i, mut e) in egds.into_iter().enumerate() {
+            for (i, e) in egds.iter_mut().enumerate() {
                 e.name = format!("e{i}").into();
-                deps.push(e);
             }
+            // Interleave egds *between* tgds (not just as a tail): egds
+            // are segment boundaries for the parallel executor, so this
+            // exercises multi-segment sweeps — group-executable tgds on
+            // both sides of a sequential egd position.
+            let mut deps = Vec::new();
+            let mut egds = egds.into_iter();
+            for (i, t) in tgds.into_iter().enumerate() {
+                deps.push(t);
+                if i % 2 == 0 {
+                    deps.extend(egds.next());
+                }
+            }
+            deps.extend(egds);
             deps
         })
         .prop_filter("weakly acyclic", |deps| {
@@ -152,6 +164,49 @@ proptest! {
                 let n = n.map(|r| r.stats);
                 let d = d.map(|r| r.stats);
                 prop_assert!(false, "schedulers diverge: naive={n:?} delta={d:?}");
+            }
+        }
+    }
+
+    /// The parallel executor equivalence property: at 2 and 4 worker
+    /// threads, the worker-pool sweeps must produce the same instances as
+    /// the classical full-rescan loop (up to null renaming — workers
+    /// allocate labels from disjoint strided ranges) and agree on every
+    /// failure mode. Stats are not compared: sweep boundaries differ from
+    /// round boundaries by design.
+    #[test]
+    fn parallel_and_full_rescan_chase_agree_on_weakly_acyclic_programs(
+        deps in arb_wa_program(),
+        inst in arb_instance(),
+    ) {
+        let naive = chase_standard_full_rescan(
+            inst.clone(), &deps, &cfg(SchedulerMode::FullRescan));
+        for threads in [2usize, 4] {
+            let par = chase_standard(
+                inst.clone(), &deps, &cfg(SchedulerMode::Parallel { threads }));
+            match (&naive, par) {
+                (Ok(n), Ok(p)) => {
+                    let n_rels: Vec<_> = n.instance.relation_names().cloned().collect();
+                    let p_rels: Vec<_> = p.instance.relation_names().cloned().collect();
+                    prop_assert_eq!(n_rels, p_rels,
+                        "relation sets differ at {} threads", threads);
+                    prop_assert_eq!(
+                        canonical_render(&n.instance),
+                        canonical_render(&p.instance),
+                        "instances differ up to null renaming at {} threads", threads
+                    );
+                    for dep in &deps {
+                        prop_assert!(dependency_satisfied(&p.instance, dep));
+                    }
+                    prop_assert_eq!(n.instance.len(), p.instance.len());
+                }
+                (Err(ChaseError::Failure { .. }), Err(ChaseError::Failure { .. })) => {}
+                (n, p) => {
+                    let n = n.as_ref().map(|r| r.stats.clone());
+                    let p = p.map(|r| r.stats);
+                    prop_assert!(false,
+                        "schedulers diverge at {threads} threads: naive={n:?} parallel={p:?}");
+                }
             }
         }
     }
