@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every row recorded in
-//! EXPERIMENTS.md (experiments E1–E7 of DESIGN.md, one per quantitative
-//! claim of the paper's §3–§4).
+//! EXPERIMENTS.md (experiments E1–E9, one per quantitative claim of the
+//! paper's §3–§4 plus the scheduler/executor separations).
 //!
 //! Usage: `cargo run --release -p grom-bench --bin experiments [-- e4 e5]`
 //! (no arguments = run everything). `GROM_SCALE=2` doubles instance sizes;
@@ -465,6 +465,88 @@ fn e8() -> Table {
     t
 }
 
+/// E9 — sweep-level egd batching: the batched delta scheduler vs the
+/// full-rescan reference on the entity-resolution workload of
+/// [`grom_bench::egd_scaling_workload`] (8 key egds, labeled-null
+/// representatives merging through long union-find chains). Instances must
+/// be identical up to null renaming; the batched scheduler must apply
+/// exactly one substitution pass per merge-bearing sweep. Besides the wall
+/// times, the JSONL records surface the `substitution_passes` and
+/// `obligations_batched` counters of the batched run (encoded in the
+/// `tuples` field with a zero wall time, so the regression gate treats
+/// them as sub-noise-floor rows and never gates on them).
+fn e9() -> Table {
+    use grom::chase::{chase_standard, chase_standard_full_rescan};
+    use grom::data::canonical_render;
+    let mut t = Table::new(
+        "E9: sweep-level egd batching vs per-dependency substitution (8 egds, chain 12)",
+        &[
+            "clusters",
+            "tuples",
+            "merges",
+            "naive subst",
+            "batched subst",
+            "naive ms",
+            "batched ms",
+            "speedup",
+            "identical",
+        ],
+    );
+    let (chain, egd_rels) = (12, 8);
+    for clusters in tiers(&[200usize, 800], &[100, 300]) {
+        let clusters = clusters * scale();
+        let (deps, inst) = egd_scaling_workload(clusters, chain, egd_rels);
+        let naive_cfg = ChaseConfig::default().with_scheduler(SchedulerMode::FullRescan);
+        let batched_cfg = ChaseConfig::default().with_scheduler(SchedulerMode::Delta);
+        let t0 = Instant::now();
+        let naive = chase_standard_full_rescan(inst.clone(), &deps, &naive_cfg)
+            .expect("full-rescan chase succeeds");
+        let naive_ms = t0.elapsed();
+        let t1 = Instant::now();
+        let batched = chase_standard(inst, &deps, &batched_cfg).expect("batched chase succeeds");
+        let batched_ms = t1.elapsed();
+        let identical = canonical_render(&naive.instance) == canonical_render(&batched.instance);
+        assert!(identical, "schedulers disagree at {clusters} clusters");
+        assert_eq!(
+            batched.stats.substitution_passes, 1,
+            "batched mode must substitute once per merge-bearing sweep"
+        );
+        record(
+            format!("e9/naive/clusters={clusters}"),
+            ms_f(naive_ms),
+            naive.instance.len() as u64,
+        );
+        record(
+            format!("e9/batched/clusters={clusters}"),
+            ms_f(batched_ms),
+            batched.instance.len() as u64,
+        );
+        record(
+            format!("e9/stats/clusters={clusters}/substitution_passes"),
+            0.0,
+            batched.stats.substitution_passes as u64,
+        );
+        record(
+            format!("e9/stats/clusters={clusters}/obligations_batched"),
+            0.0,
+            batched.stats.obligations_batched as u64,
+        );
+        let speedup = naive_ms.as_secs_f64() / batched_ms.as_secs_f64().max(1e-9);
+        t.row(vec![
+            clusters.to_string(),
+            batched.instance.len().to_string(),
+            batched.stats.egd_merges.to_string(),
+            naive.stats.substitution_passes.to_string(),
+            batched.stats.substitution_passes.to_string(),
+            ms(naive_ms),
+            ms(batched_ms),
+            format!("{speedup:.1}x"),
+            identical.to_string(),
+        ]);
+    }
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -482,6 +564,7 @@ fn main() {
         ("e7", e7),
         ("e7d", e7d),
         ("e8", e8),
+        ("e9", e9),
     ];
     for (name, f) in experiments {
         if want(name) {

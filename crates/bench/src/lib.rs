@@ -16,8 +16,8 @@ pub mod workloads;
 pub use calibration::{calibration_ms, CALIBRATION_RECORD};
 pub use report::{flush_jsonl_env, record, BenchRecord, Table, BENCH_JSON_ENV};
 pub use workloads::{
-    conjunctive_family, delta_scaling_workload, greedy_intricacy_attributable,
-    greedy_intricacy_workload, negation_family, parallel_scaling_workload, restriction_pair,
-    running_example_scenario, running_example_source, universal_model_workload,
-    RunningExampleConfig,
+    conjunctive_family, delta_scaling_workload, egd_scaling_workload,
+    greedy_intricacy_attributable, greedy_intricacy_workload, negation_family,
+    parallel_scaling_workload, restriction_pair, running_example_scenario, running_example_source,
+    universal_model_workload, RunningExampleConfig,
 };

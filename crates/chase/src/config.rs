@@ -15,10 +15,13 @@ pub enum SchedulerMode {
     FullRescan,
     /// Delta scheduling with sweeps executed by the parallel chase
     /// executor: the scheduler worklist is partitioned into conflict-free
-    /// dependency groups (see [`crate::partition`]) and each group's
-    /// activations run on a worker pool against an immutable snapshot of
-    /// the instance, with per-worker insertion buffers merged
-    /// deterministically at the sweep barrier. Results are identical to
+    /// dependency groups (see [`crate::partition`]; egds are ordinary
+    /// group members) and each group's activations run on a worker pool
+    /// against an immutable snapshot of the instance. Per-worker insertion
+    /// buffers are merged deterministically at the sweep barrier; equality
+    /// obligations collected by the workers are unified there in
+    /// declaration order and applied as one combined substitution pass per
+    /// merge-bearing sweep. Results are identical to
     /// [`SchedulerMode::Delta`] up to the renaming of labeled nulls.
     Parallel {
         /// Worker-pool width; `0` and `1` both mean one worker.

@@ -324,6 +324,7 @@ pub fn chase_exhaustive(
                         Ok(merged) => {
                             if merged {
                                 child.substitute_nulls(|id| nullmap.lookup(id));
+                                stats.substitution_passes += 1;
                             }
                             stack.push(child);
                         }

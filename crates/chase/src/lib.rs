@@ -28,10 +28,13 @@
 //!   [`config::SchedulerMode`]).
 //! * [`partition`] / [`parallel`] — the parallel chase executor: the
 //!   scheduler worklist is partitioned into conflict-free dependency
-//!   groups and each sweep's activations run on the worker pool of
-//!   `grom-exec` against immutable instance snapshots, with per-worker
-//!   insertion buffers merged deterministically at the sweep barrier
-//!   ([`config::SchedulerMode::Parallel`]).
+//!   groups (egds included — they are pure readers within a sweep) and
+//!   each sweep's activations run on the worker pool of `grom-exec`
+//!   against immutable instance snapshots. Per-worker insertion buffers
+//!   are merged deterministically at the sweep barrier, where the workers'
+//!   equality-obligation buffers are also unified — in declaration order —
+//!   and resolved with one combined substitution pass per merge-bearing
+//!   sweep ([`config::SchedulerMode::Parallel`]).
 
 pub mod config;
 pub mod core_min;

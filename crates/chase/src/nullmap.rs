@@ -46,6 +46,22 @@ impl NullMap {
         self.map.len()
     }
 
+    /// Resolve a value through the map without mutating it (follows chains,
+    /// no path compression). This is the read-only view the parallel chase
+    /// executor hands to its workers: they resolve bindings against a
+    /// frozen snapshot of the sweep-start map while *collecting* new
+    /// equality obligations instead of unifying in place.
+    pub fn resolve_frozen(&self, value: &Value) -> Value {
+        let mut current = value.clone();
+        while let Some(id) = current.as_null() {
+            match self.map.get(&id) {
+                Some(next) => current = next.clone(),
+                None => break,
+            }
+        }
+        current
+    }
+
     /// Resolve a value through the map (follows chains, compresses paths).
     pub fn resolve(&mut self, value: &Value) -> Value {
         let Some(id) = value.as_null() else {
@@ -98,6 +114,20 @@ impl NullMap {
             return None;
         }
         Some(self.resolve(&Value::Null(id)))
+    }
+
+    /// A fully resolved snapshot of the substitution: every mapped label
+    /// sent directly to its final value, chains collapsed once. This is the
+    /// input of [`grom_data::Instance::substitute_nulls_batch`] — the
+    /// one-pass sweep-level substitution of egd batching.
+    pub fn flatten(&mut self) -> HashMap<NullId, Value> {
+        let keys: Vec<NullId> = self.map.keys().copied().collect();
+        keys.into_iter()
+            .map(|id| {
+                let root = self.resolve(&Value::Null(id));
+                (id, root)
+            })
+            .collect()
     }
 
     /// Total number of merges recorded so far (mapped labels).
@@ -172,6 +202,30 @@ mod tests {
         assert_eq!(m.lookup(NullId(0)), Some(Value::int(9)));
         assert_eq!(m.lookup(NullId(1)), Some(Value::int(9)));
         assert_eq!(m.lookup(NullId(7)), None);
+    }
+
+    #[test]
+    fn resolve_frozen_follows_chains_without_mutation() {
+        let mut m = NullMap::new();
+        m.unify(&Value::null(3), &Value::null(1));
+        m.unify(&Value::null(1), &Value::int(7));
+        let frozen = &m;
+        assert_eq!(frozen.resolve_frozen(&Value::null(3)), Value::int(7));
+        assert_eq!(frozen.resolve_frozen(&Value::null(9)), Value::null(9));
+        assert_eq!(frozen.resolve_frozen(&Value::int(2)), Value::int(2));
+    }
+
+    #[test]
+    fn flatten_collapses_chains() {
+        let mut m = NullMap::new();
+        m.unify(&Value::null(5), &Value::null(3));
+        m.unify(&Value::null(3), &Value::null(1));
+        m.unify(&Value::null(1), &Value::int(7));
+        let flat = m.flatten();
+        assert_eq!(flat.len(), 3);
+        for id in [5u64, 3, 1] {
+            assert_eq!(flat[&NullId(id)], Value::int(7));
+        }
     }
 
     #[test]

@@ -3,35 +3,52 @@
 //! `chase_standard_parallel` (the [`SchedulerMode::Parallel`] arm of
 //! [`crate::standard::chase_standard`]) runs the same worklist as the
 //! sequential delta scheduler ([`crate::scheduler`]), but executes each
-//! sweep's delta activations concurrently:
+//! sweep's activations concurrently:
 //!
 //! 1. The dependency set is statically partitioned into **conflict-free
 //!    groups** ([`crate::partition::Partition`]): two dependencies conflict
 //!    iff one's conclusion relations intersect the other's premise or
 //!    conclusion relations. Groups never interact within a sweep — one
 //!    group's insertions can neither create nor satisfy another group's
-//!    matches.
-//! 2. Each sweep walks the dependencies in declaration order, collecting
-//!    maximal **segments** of group-executable dependencies. A segment's
-//!    groups become jobs on a [`WorkerPool`]: every worker evaluates
+//!    matches. *Every* dependency is group-executable, egds included.
+//! 2. Each sweep claims the whole worklist at once; the groups with
+//!    pending work become jobs on a [`WorkerPool`]. Every worker evaluates
 //!    against an immutable snapshot of the instance through a
 //!    [`ShardView`] (snapshot ∪ private insertion buffer) and allocates
 //!    fresh nulls from a disjoint strided label range.
-//! 3. At the segment barrier the buffers are merged into the master
-//!    instance in job order and routed through the scheduler — so the
-//!    merged instance, and everything downstream, is deterministic
-//!    regardless of thread scheduling.
-//! 4. Dependencies whose conclusions contain equalities (egds, mixed
-//!    tgd+egds) form segment boundaries and run sequentially at their
-//!    declaration position, sharing the run-level [`NullMap`]; their null
-//!    unifications use the same targeted invalidation as the sequential
-//!    loop.
+//! 3. Equality repairs never touch the instance from a worker: they
+//!    **collect obligations** — raw value pairs, buffered in the shard
+//!    view — against a read-only snapshot of the run-level [`NullMap`],
+//!    plus a worker-local overlay so later violations of the same job see
+//!    the pending merges and are skipped
+//!    ([`grom_engine::disjunct_satisfied_resolved`]).
+//! 4. At the sweep barrier the coordinator merges the insertion buffers in
+//!    job order, routes the merged deltas, then unifies the merged
+//!    obligation sets **deterministically** — concatenated in job order
+//!    and stably sorted by declaration index, so the unification order
+//!    (and any constant-clash report) is a function of the job contents,
+//!    never of thread scheduling. If anything merged, it applies **one**
+//!    combined substitution pass and one targeted reader invalidation for
+//!    the whole sweep (`apply_sweep_merges`, shared with the sequential
+//!    loop).
 //!
 //! Within a group, a worker routes its own insertions to later
 //! dependencies of the same job via the [`TriggerIndex`], mirroring the
-//! same-round cascading of the sequential loop. The result is identical to
-//! [`SchedulerMode::Delta`] up to the renaming of labeled nulls (workers
-//! draw from strided ranges, so labels differ, structure does not).
+//! same-round cascading of the sequential loop — including its
+//! atom-bearing flush rule: once a job holds pending obligations, a later
+//! atom-bearing dependency of the same job is *deferred* (the coordinator
+//! re-marks it `Full`) so its embedding checks run after the barrier
+//! substitution, never against stale stored tuples. The result is
+//! identical to [`SchedulerMode::Delta`] up to the renaming of labeled
+//! nulls (workers draw from strided ranges, so labels differ, structure
+//! does not) — with one documented corner: dependencies in conflict-
+//! *disconnected* groups that share labeled nulls only through the
+//! *initial* instance evaluate against the sweep-start snapshot where the
+//! sequential loop would flush first, and may keep a redundant (but
+//! sound — the result is still a universal solution) fresh-null tuple the
+//! sequential loop avoids. No dependency chain can create that sharing:
+//! any dep copying a null between the two relation clusters would conflict
+//! with both and merge the groups.
 //!
 //! [`SchedulerMode::Delta`]: crate::config::SchedulerMode::Delta
 //! [`SchedulerMode::Parallel`]: crate::config::SchedulerMode::Parallel
@@ -42,19 +59,19 @@ use std::sync::Arc;
 use grom_data::{DeltaLog, Instance, NullGenerator, StridedNullGenerator, Value};
 use grom_lang::{Bindings, Dependency, Term, Var};
 
-use grom_engine::{disjunct_satisfied, find_violation};
+use grom_engine::{disjunct_satisfied, disjunct_satisfied_resolved, find_violation};
 use grom_exec::{ShardView, WorkerPool};
 
 use crate::config::ChaseConfig;
-use crate::nullmap::NullMap;
+use crate::nullmap::{NullMap, Unify};
 use crate::partition::Partition;
 use crate::result::{ChaseError, ChaseResult, ChaseStats};
-use crate::scheduler::{delta_violations, run_dep_sequential, Pending, Scheduler};
-use crate::standard::{check_executable, collect_violations};
+use crate::scheduler::{apply_sweep_merges, concludes_atoms, delta_violations, Pending, Scheduler};
+use crate::standard::{check_executable, collect_violations, eval_bound_term};
 use crate::trigger::TriggerIndex;
 
 /// One worker job: the claimed worklist entries of one conflict group
-/// within one segment, in dependency order.
+/// within one sweep, in dependency order.
 struct GroupJob {
     work: Vec<(usize, Pending)>,
 }
@@ -68,6 +85,18 @@ struct GroupOutcome {
     /// cascading). The barrier posts only the remainders, so no activation
     /// sees the same tuple twice.
     consumed: BTreeMap<(usize, Arc<str>), usize>,
+    /// Equality obligations collected by the job's egd repairs, tagged
+    /// with their dependency index, in collection order. Kept on failure
+    /// too: obligations recorded before the failing dependency are
+    /// genuine, and the coordinator may find an earlier constant clash in
+    /// them.
+    obligations: Vec<(usize, Value, Value)>,
+    /// Atom-bearing dependencies the worker *deferred* because the job had
+    /// already recorded obligations: their embedding checks read stored
+    /// tuples the overlay resolution cannot see through, so they must run
+    /// after the barrier substitution. The coordinator re-schedules them
+    /// `Full` (which subsumes the claimed work).
+    deferred: Vec<usize>,
     /// Partial counters (rounds stay zero; the coordinator owns them).
     stats: ChaseStats,
     /// Largest null label drawn from the job's strided range, if any.
@@ -77,23 +106,36 @@ struct GroupOutcome {
     failure: Option<(usize, ChaseError)>,
 }
 
-/// Apply a tgd-style disjunct (no equalities — the partition guarantees
-/// it) into a worker's shard view, inventing fresh nulls from the worker's
-/// strided range.
+/// Resolve a value through the frozen sweep-start null map, then through
+/// the worker-local obligation overlay. Stored tuples are clean with
+/// respect to the frozen map (every sweep that merges also substitutes),
+/// so the overlay carries all the action; the frozen hop is a cheap
+/// safety net.
+fn resolve_overlay(base: &NullMap, local: &mut NullMap, v: &Value) -> Value {
+    local.resolve(&base.resolve_frozen(v))
+}
+
+/// Apply one disjunct inside a worker: comparisons are checked, equalities
+/// are recorded as obligations into the shard view (and folded into the
+/// worker-local overlay), atoms are inserted into the insertion buffer
+/// with values resolved through the overlay, inventing fresh nulls from
+/// the worker's strided range.
 ///
 /// Keep in sync with [`crate::standard::apply_disjunct`]: this is its
-/// equality-free half, writing through a [`ShardView`] instead of the
-/// master instance (which also removes the null-map resolution — group
-/// reads never observe mapped labels).
+/// snapshot-side twin — instance writes go through the [`ShardView`], and
+/// null unification is deferred to the coordinator's barrier (a local
+/// constant clash is *recorded*, not raised; the coordinator detects it
+/// deterministically).
 fn apply_group_disjunct(
     view: &mut ShardView<'_>,
     dep: &Dependency,
     bindings: &Bindings,
+    base_nulls: &NullMap,
+    local: &mut NullMap,
     nulls: &mut StridedNullGenerator,
     stats: &mut ChaseStats,
 ) -> Result<(), ChaseError> {
     let disjunct = &dep.disjuncts[0];
-    debug_assert!(disjunct.eqs.is_empty(), "eq disjuncts run sequentially");
 
     // Comparisons over premise variables: if they do not hold for this
     // match, no repair can ever satisfy this disjunct.
@@ -106,41 +148,63 @@ fn apply_group_disjunct(
         }
     }
 
-    if disjunct.atoms.is_empty() {
-        return Ok(());
-    }
-    let mut fresh: BTreeMap<Var, Value> = BTreeMap::new();
-    for atom in &disjunct.atoms {
-        let mut row = Vec::with_capacity(atom.args.len());
-        for t in &atom.args {
-            let v = match t {
-                Term::Const(c) => c.clone(),
-                Term::Var(v) => match bindings.get(v) {
-                    Some(val) => val.clone(),
-                    None => fresh
-                        .entry(v.clone())
-                        .or_insert_with(|| {
-                            stats.nulls_invented += 1;
-                            nulls.fresh()
-                        })
-                        .clone(),
-                },
-            };
-            row.push(v);
+    // Equalities become obligations: recorded raw for the coordinator's
+    // deterministic barrier unification, folded into the local overlay so
+    // later violations of this job see the pending merges.
+    for (l, r) in &disjunct.eqs {
+        let lv = eval_bound_term(l, bindings, dep)?;
+        let rv = eval_bound_term(r, bindings, dep)?;
+        let la = resolve_overlay(base_nulls, local, &lv);
+        let ra = resolve_overlay(base_nulls, local, &rv);
+        if la == ra {
+            continue;
         }
-        if view.insert(&atom.predicate, row.into())? {
-            stats.tuples_inserted += 1;
-        }
+        view.record_obligation(lv, rv);
+        stats.obligations_batched += 1;
+        // A Clash here (two distinct constants) leaves the overlay
+        // untouched; the recorded obligation surfaces it at the barrier.
+        let _ = local.unify(&la, &ra);
     }
-    stats.tgd_applications += 1;
+
+    // Atoms: one fresh null per existential variable, shared across the
+    // disjunct's atoms; bound values resolved through the overlay (the
+    // barrier substitution cleans whatever the overlay cannot see).
+    if !disjunct.atoms.is_empty() {
+        let mut fresh: BTreeMap<Var, Value> = BTreeMap::new();
+        for atom in &disjunct.atoms {
+            let mut row = Vec::with_capacity(atom.args.len());
+            for t in &atom.args {
+                let v = match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => match bindings.get(v) {
+                        Some(val) => resolve_overlay(base_nulls, local, val),
+                        None => fresh
+                            .entry(v.clone())
+                            .or_insert_with(|| {
+                                stats.nulls_invented += 1;
+                                nulls.fresh()
+                            })
+                            .clone(),
+                    },
+                };
+                row.push(v);
+            }
+            if view.insert(&atom.predicate, row.into())? {
+                stats.tuples_inserted += 1;
+            }
+        }
+        stats.tgd_applications += 1;
+    }
+
     Ok(())
 }
 
 /// Run one group's claimed work against a snapshot. Mirrors the
-/// sequential per-dependency body, with two parallel-specific twists: all
-/// reads go through the shard view, and freshly inserted tuples are routed
-/// *locally* to later dependencies of the same job (cross-group routing
-/// happens at the barrier — by construction no other group can read them).
+/// sequential per-dependency body, with the parallel-specific twists: all
+/// reads go through the shard view, equality repairs collect obligations
+/// instead of unifying, and freshly inserted tuples are routed *locally*
+/// to later dependencies of the same job (cross-group routing happens at
+/// the barrier — by construction no other group can read them).
 ///
 /// Keep the claim/evaluate/denial handling in sync with
 /// [`crate::scheduler::run_dep_sequential`] — the evaluation halves are
@@ -149,69 +213,102 @@ fn run_group_job(
     base: &Instance,
     deps: &[Dependency],
     triggers: &TriggerIndex,
+    base_nulls: &NullMap,
     mut job: GroupJob,
     mut nulls: StridedNullGenerator,
 ) -> GroupOutcome {
     let mut view = ShardView::new(base);
+    let mut local = NullMap::new();
     let mut delta = DeltaLog::default();
     let mut consumed: BTreeMap<(usize, Arc<str>), usize> = BTreeMap::new();
+    let mut obligations: Vec<(usize, Value, Value)> = Vec::new();
+    let mut deferred: Vec<usize> = Vec::new();
     let mut stats = ChaseStats::default();
-    let fail =
-        |k: usize, e: ChaseError, stats: ChaseStats, nulls: &StridedNullGenerator| GroupOutcome {
-            delta: DeltaLog::default(),
-            consumed: BTreeMap::new(),
-            stats,
-            max_null: nulls.max_allocated(),
-            failure: Some((k, e)),
-        };
 
     for slot in 0..job.work.len() {
         let (k, pending) = std::mem::replace(&mut job.work[slot], (0, Pending::Idle));
         let dep = &deps[k];
+        // Mirror of the sequential loop's mid-sweep flush: once this job
+        // holds pending obligations, an atom-bearing dependency must not
+        // evaluate against the un-rewritten snapshot — defer it past the
+        // barrier substitution instead (the coordinator re-marks it Full).
+        if !obligations.is_empty() && concludes_atoms(dep) && !matches!(pending, Pending::Idle) {
+            deferred.push(k);
+            continue;
+        }
+        let mut failure: Option<ChaseError> = None;
         let violations = match pending {
             Pending::Idle => continue,
             Pending::Full => {
                 stats.full_rescans += 1;
                 if dep.is_denial() {
                     if let Some(v) = find_violation(&view, dep) {
-                        let e = ChaseError::Failure {
+                        failure = Some(ChaseError::Failure {
                             dependency: dep.name.clone(),
                             detail: format!("denial premise matched at {}", v.bindings),
-                        };
-                        return fail(k, e, stats, &nulls);
+                        });
                     }
-                    continue;
+                    Vec::new()
+                } else {
+                    collect_violations(&view, dep)
                 }
-                collect_violations(&view, dep)
             }
             Pending::Delta(map) => {
                 stats.delta_activations += 1;
                 stats.delta_tuples_seeded += map.values().map(Vec::len).sum::<usize>();
-                let vs = delta_violations(&view, dep, &map, dep.is_denial());
+                let vs = delta_violations(&view, dep, &map, dep.is_denial(), &mut stats);
                 if dep.is_denial() {
                     if let Some(b) = vs.first() {
-                        let e = ChaseError::Failure {
+                        failure = Some(ChaseError::Failure {
                             dependency: dep.name.clone(),
                             detail: format!("denial premise matched at {b}"),
-                        };
-                        return fail(k, e, stats, &nulls);
+                        });
                     }
-                    continue;
+                    Vec::new()
+                } else {
+                    vs
                 }
-                vs
             }
         };
 
         for b in &violations {
-            // No null map here: group dependencies never unify nulls, and
-            // relations they read contain no mapped labels (a mapped label
-            // would have rewritten — and invalidated — the relation).
-            if disjunct_satisfied(&view, &dep.disjuncts[0], b) {
+            // Satisfied-under-pending-obligations recheck against the
+            // overlay: earlier repairs of this job may already satisfy
+            // the match without any instance rewrite. With no mapped
+            // labels anywhere (egd-free sweeps, the common case) the
+            // resolution is the identity and the raw bindings are checked
+            // directly.
+            let satisfied = if base_nulls.is_empty() && local.is_empty() {
+                disjunct_satisfied(&view, &dep.disjuncts[0], b)
+            } else {
+                disjunct_satisfied_resolved(&view, &dep.disjuncts[0], b, &mut |v| {
+                    resolve_overlay(base_nulls, &mut local, v)
+                })
+            };
+            if satisfied {
                 continue;
             }
-            if let Err(e) = apply_group_disjunct(&mut view, dep, b, &mut nulls, &mut stats) {
-                return fail(k, e, stats, &nulls);
+            if let Err(e) = apply_group_disjunct(
+                &mut view, dep, b, base_nulls, &mut local, &mut nulls, &mut stats,
+            ) {
+                failure = Some(e);
+                break;
             }
+        }
+
+        for (l, r) in view.take_obligations() {
+            obligations.push((k, l, r));
+        }
+        if let Some(e) = failure {
+            return GroupOutcome {
+                delta: DeltaLog::default(),
+                consumed: BTreeMap::new(),
+                obligations,
+                deferred: Vec::new(),
+                stats,
+                max_null: nulls.max_allocated(),
+                failure: Some((k, e)),
+            };
         }
 
         let log = view.take_delta();
@@ -242,6 +339,8 @@ fn run_group_job(
     GroupOutcome {
         delta,
         consumed,
+        obligations,
+        deferred,
         stats,
         max_null: nulls.max_allocated(),
         failure: None,
@@ -250,7 +349,8 @@ fn run_group_job(
 
 /// The parallel standard chase: semantics of
 /// [`crate::scheduler::chase_standard_delta`], sweeps executed by a worker
-/// pool over conflict-free dependency groups.
+/// pool over conflict-free dependency groups, equality obligations unified
+/// by the coordinator at the sweep barrier.
 pub(crate) fn chase_standard_parallel(
     start: Instance,
     deps: &[Dependency],
@@ -281,82 +381,104 @@ pub(crate) fn chase_standard_parallel(
             break;
         }
 
-        let mut k = 0;
-        while k < deps.len() {
-            if partition.group_of(k).is_none() {
-                // Equality-bearing dependency: a segment boundary, run
-                // sequentially at its declaration position.
-                run_dep_sequential(
-                    &mut inst,
-                    deps,
-                    k,
-                    &mut sched,
-                    &mut nullmap,
-                    &mut nullgen,
-                    &mut stats,
-                )?;
-                k += 1;
-                continue;
-            }
-
-            // Collect the maximal segment of group-executable
-            // dependencies, claiming their pending work by group.
-            let mut jobs: BTreeMap<usize, GroupJob> = BTreeMap::new();
-            while k < deps.len() {
-                let Some(g) = partition.group_of(k) else {
-                    break;
-                };
-                let pending = sched.take(k);
-                jobs.entry(g)
-                    .or_insert_with(|| GroupJob { work: Vec::new() })
-                    .work
-                    .push((k, pending));
-                k += 1;
-            }
-            let jobs: Vec<GroupJob> = jobs
-                .into_values()
-                .filter(|j| j.work.iter().any(|(_, p)| !matches!(p, Pending::Idle)))
-                .collect();
-            if jobs.is_empty() {
-                continue;
-            }
-
-            // Snapshot-execute the segment. Null ranges and result order
-            // are functions of the job index, so the sweep is
-            // deterministic under any thread schedule.
-            let base_label = nullgen.peek_next();
-            let stride = jobs.len() as u64;
-            let triggers = sched.triggers();
-            let snapshot: &Instance = &inst;
-            let outcomes = pool.run(jobs, |j, job| {
-                let nulls = StridedNullGenerator::new(base_label, j as u64, stride);
-                run_group_job(snapshot, deps, triggers, job, nulls)
-            });
-
-            // Barrier: report the earliest failure (by dependency index,
-            // for determinism), else merge buffers in job order and route
-            // the merged deltas.
-            let earliest_failure = outcomes
-                .iter()
-                .filter_map(|o| o.failure.as_ref())
-                .min_by_key(|(fk, _)| *fk);
-            if let Some((_, e)) = earliest_failure {
-                return Err(e.clone());
-            }
-            // Tracking is suspended for the merge: the group logs already
-            // carry every inserted tuple, so they are routed directly
-            // instead of being re-logged by the master instance.
-            inst.end_delta_tracking();
-            for o in &outcomes {
-                stats.absorb(&o.stats);
-                if let Some(m) = o.max_null {
-                    nullgen.advance_to(m + 1);
-                }
-                inst.absorb_delta(&o.delta)?;
-                sched.post_job(&o.delta, &o.consumed);
-            }
-            inst.begin_delta_tracking();
+        // Claim the whole sweep's worklist, bucketed by conflict group.
+        // Egds claim like everyone else — no sequential segments remain.
+        let mut buckets: BTreeMap<usize, GroupJob> = BTreeMap::new();
+        for k in 0..deps.len() {
+            let pending = sched.take(k);
+            buckets
+                .entry(partition.group_of(k))
+                .or_insert_with(|| GroupJob { work: Vec::new() })
+                .work
+                .push((k, pending));
         }
+        let jobs: Vec<GroupJob> = buckets
+            .into_values()
+            .filter(|j| j.work.iter().any(|(_, p)| !matches!(p, Pending::Idle)))
+            .collect();
+        if jobs.is_empty() {
+            continue;
+        }
+
+        // Snapshot-execute the sweep. Null ranges and result order are
+        // functions of the job index, so the sweep is deterministic under
+        // any thread schedule.
+        let base_label = nullgen.peek_next();
+        let stride = jobs.len() as u64;
+        let triggers = sched.triggers();
+        let snapshot: &Instance = &inst;
+        let frozen_nulls: &NullMap = &nullmap;
+        let outcomes = pool.run(jobs, |j, job| {
+            let nulls = StridedNullGenerator::new(base_label, j as u64, stride);
+            run_group_job(snapshot, deps, triggers, frozen_nulls, job, nulls)
+        });
+
+        // Barrier, step 1 — unify the merged obligation sets on the
+        // run-level null map: concatenate in job order, stable-sort by
+        // declaration index (each dependency lives in exactly one job, so
+        // per-dependency collection order is preserved), then unify.
+        // Constant clashes surface here, deterministically.
+        let mut obligations: Vec<&(usize, Value, Value)> =
+            outcomes.iter().flat_map(|o| o.obligations.iter()).collect();
+        obligations.sort_by_key(|(k, _, _)| *k);
+        let mut any_merge = false;
+        let mut clash: Option<(usize, ChaseError)> = None;
+        for (k, l, r) in obligations {
+            match nullmap.unify(l, r) {
+                Unify::Noop => {}
+                Unify::Merged => {
+                    any_merge = true;
+                    stats.egd_merges += 1;
+                }
+                Unify::Clash(a, b) => {
+                    clash = Some((*k, ChaseError::clash(&deps[*k].name, &a, &b)));
+                    break;
+                }
+            }
+        }
+
+        // Barrier, step 2 — report the earliest failure by dependency
+        // index (denials / comparisons from workers vs constant clashes
+        // from the unification), mirroring declaration order.
+        let worker_failure = outcomes
+            .iter()
+            .filter_map(|o| o.failure.as_ref())
+            .min_by_key(|(fk, _)| *fk);
+        let failure = match (worker_failure, clash) {
+            (Some((wk, we)), Some((ck, ce))) => Some(if *wk <= ck { we.clone() } else { ce }),
+            (Some((_, we)), None) => Some(we.clone()),
+            (None, Some((_, ce))) => Some(ce),
+            (None, None) => None,
+        };
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        // Barrier, step 3 — merge buffers into the master in job order
+        // and route the merged deltas. Tracking is suspended for the
+        // merge: the group logs already carry every inserted tuple, so
+        // they are routed directly instead of being re-logged.
+        inst.end_delta_tracking();
+        for o in &outcomes {
+            stats.absorb(&o.stats);
+            if let Some(m) = o.max_null {
+                nullgen.advance_to(m + 1);
+            }
+            inst.absorb_delta(&o.delta)?;
+            sched.post_job(&o.delta, &o.consumed);
+            // Deps a worker deferred past the barrier substitution run as
+            // full rescans next sweep, on the rewritten instance.
+            for &k in &o.deferred {
+                sched.reschedule_full(k);
+            }
+        }
+
+        // Barrier, step 4 — one combined substitution pass and one
+        // targeted invalidation for the whole sweep, if anything merged.
+        if any_merge {
+            apply_sweep_merges(&mut inst, &mut nullmap, &mut sched, &mut stats);
+        }
+        inst.begin_delta_tracking();
     }
 
     inst.end_delta_tracking();
@@ -432,7 +554,7 @@ mod tests {
     }
 
     #[test]
-    fn egds_run_sequentially_and_agree() {
+    fn egds_collect_obligations_and_agree() {
         let m = parse_dependency("tgd m: S(x) -> T(x, y).").unwrap();
         let k = parse_dependency("tgd k: S2(x, y) -> T(x, y).").unwrap();
         let e = parse_dependency("egd e: T(x, y1), T(x, y2) -> y1 = y2.").unwrap();
@@ -448,19 +570,27 @@ mod tests {
         let t: Vec<_> = parl.instance.tuples("T").collect();
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].get(1), Some(&Value::int(42)));
+        assert!(parl.stats.obligations_batched >= 1);
     }
 
     #[test]
-    fn egd_between_tgds_splits_the_sweep_into_segments() {
-        // tgd | egd | tgd: the egd is a segment boundary, so each sweep
-        // runs two pool segments around a sequential unification — the
-        // shape the declaration-order guarantee is about.
+    fn egd_between_tgds_no_longer_segments_the_sweep() {
+        // tgd | egd | tgd: previously the egd was a sequential segment
+        // boundary; now the whole dependency set runs as pool jobs and the
+        // egd's obligations resolve at the barrier. Results must still
+        // match the full-rescan reference exactly (up to null renaming).
         let p = parse_program(
             "tgd a: S(x) -> T(x, w).\n\
              egd e: T(x, y1), T(x, y2) -> y1 = y2.\n\
              tgd b: S2(x, y) -> T(x, y).",
         )
         .unwrap();
+        // All three deps touch T: one conflict group, no `None` slots.
+        let part = Partition::build(&p.deps, &TriggerIndex::build(&p.deps));
+        assert_eq!(part.group_count(), 1);
+        for k in 0..p.deps.len() {
+            assert_eq!(part.group_of(k), 0);
+        }
         let start = inst(&[("S", &[1]), ("S2", &[1, 9]), ("S2", &[2, 3])]);
         let seq =
             chase_standard_full_rescan(start.clone(), &p.deps, &ChaseConfig::default()).unwrap();
@@ -478,6 +608,42 @@ mod tests {
         ys.sort_unstable();
         assert_eq!(ys, vec![3, 9]);
         assert!(all_satisfied(&parl.instance, &p.deps));
+    }
+
+    #[test]
+    fn parallel_merge_bearing_sweep_substitutes_once() {
+        // Two egds over relations nobody writes: two independent pool
+        // jobs collect obligations concurrently, the coordinator applies
+        // ONE substitution pass at the barrier.
+        let p = parse_program(
+            "egd e1: T(x, y1), T(x, y2) -> y1 = y2.\n\
+             egd e2: U(x, y1), U(x, y2) -> y1 = y2.",
+        )
+        .unwrap();
+        let part = Partition::build(&p.deps, &TriggerIndex::build(&p.deps));
+        assert_eq!(part.group_count(), 2);
+        let mut start = Instance::new();
+        start.add("T", vec![Value::int(1), Value::null(0)]).unwrap();
+        start.add("T", vec![Value::int(1), Value::int(5)]).unwrap();
+        start.add("U", vec![Value::int(2), Value::null(1)]).unwrap();
+        start.add("U", vec![Value::int(2), Value::int(7)]).unwrap();
+        let res = chase_standard(start, &p.deps, &par(2)).unwrap();
+        assert_eq!(res.stats.substitution_passes, 1);
+        assert_eq!(res.stats.egd_merges, 2);
+        assert_eq!(res.instance.tuples("T").count(), 1);
+        assert_eq!(res.instance.tuples("U").count(), 1);
+    }
+
+    #[test]
+    fn constant_clash_is_detected_at_the_barrier() {
+        let e = parse_dependency("egd e: T(x, y1), T(x, y2) -> y1 = y2.").unwrap();
+        let start = inst(&[("T", &[1, 10]), ("T", &[1, 20])]);
+        match chase_standard(start, &[e], &par(2)) {
+            Err(ChaseError::Failure { dependency, .. }) => {
+                assert_eq!(dependency.as_ref(), "e");
+            }
+            other => panic!("expected clash failure, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //! against a shared snapshot.
 //!
 //! Dependencies whose conclusion contains an *equality* (egds and mixed
-//! tgd+egds) are excluded from every group: a null unification rewrites
-//! tuples in arbitrary relations (wherever the merged null occurs), so its
-//! effective write set is unbounded. The parallel loop runs them
-//! sequentially at their declaration position, which also keeps the shared
-//! [`NullMap`](crate::nullmap::NullMap) single-threaded.
+//! tgd+egds) participate like every other dependency. Their equality
+//! repairs do **not** write the instance from a worker: workers only
+//! *collect* obligations against a read-only snapshot of the
+//! [`NullMap`](crate::nullmap::NullMap), and the coordinator performs the
+//! one unbounded write — the combined null substitution — at the sweep
+//! barrier, after every worker has finished. Within a sweep an egd is
+//! therefore a pure *reader*: it conflicts with writers of its premise
+//! relations (so it observes same-sweep insertions of its own group, like
+//! the sequential round), while egds over relations nobody writes — and
+//! its conclusion-equality "write set", which only exists at the barrier —
+//! glue nothing. Egds no longer split sweeps into sequential segments.
 //!
 //! The premise side of the conflict test reuses the [`TriggerIndex`]: a
 //! dependency reads exactly the relations that trigger it.
@@ -29,17 +35,12 @@ use crate::trigger::TriggerIndex;
 /// The static partition of a dependency set into conflict-free groups.
 #[derive(Debug, Clone)]
 pub struct Partition {
-    /// `group_of[k]` — the group of dependency `k`, or `None` when `k`
-    /// must run sequentially (its conclusion contains equalities).
-    group_of: Vec<Option<usize>>,
+    /// `group_of[k]` — the group of dependency `k`. Every dependency is
+    /// group-executable; equality conclusions are collected as obligations
+    /// and resolved by the coordinator at the sweep barrier.
+    group_of: Vec<usize>,
     /// Members of each group, in dependency order.
     groups: Vec<Vec<usize>>,
-}
-
-/// Does this dependency qualify for group execution? Anything without
-/// conclusion equalities: tgds, denials, and comparison-guarded tgds.
-fn parallel_safe(dep: &Dependency) -> bool {
-    dep.disjuncts.iter().all(|d| d.eqs.is_empty())
 }
 
 impl Partition {
@@ -52,9 +53,6 @@ impl Partition {
         // Writer of each relation seen so far: writer/writer conflicts.
         let mut concluded_by: BTreeMap<Arc<str>, usize> = BTreeMap::new();
         for (k, dep) in deps.iter().enumerate() {
-            if !parallel_safe(dep) {
-                continue;
-            }
             for disjunct in &dep.disjuncts {
                 for atom in &disjunct.atoms {
                     let rel = &atom.predicate;
@@ -66,11 +64,10 @@ impl Partition {
                         }
                     }
                     // Writer vs reader: everything triggered by `rel`
-                    // reads it in its premise.
+                    // reads it in its premise — including egds, which must
+                    // see same-sweep insertions of the writer's group.
                     for &reader in triggers.triggered_by(rel) {
-                        if parallel_safe(&deps[reader]) {
-                            uf.union(k, reader);
-                        }
+                        uf.union(k, reader);
                     }
                 }
             }
@@ -78,26 +75,23 @@ impl Partition {
 
         // Roots → dense group ids, in first-member order.
         let mut group_ids: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut group_of = vec![None; n];
+        let mut group_of = Vec::with_capacity(n);
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        for (k, dep) in deps.iter().enumerate() {
-            if !parallel_safe(dep) {
-                continue;
-            }
+        for k in 0..n {
             let root = uf.find(k);
             let g = *group_ids.entry(root).or_insert_with(|| {
                 groups.push(Vec::new());
                 groups.len() - 1
             });
-            group_of[k] = Some(g);
+            group_of.push(g);
             groups[g].push(k);
         }
 
         Self { group_of, groups }
     }
 
-    /// The group of dependency `k`, or `None` when it runs sequentially.
-    pub fn group_of(&self, k: usize) -> Option<usize> {
+    /// The group of dependency `k`.
+    pub fn group_of(&self, k: usize) -> usize {
         self.group_of[k]
     }
 
@@ -194,22 +188,43 @@ mod tests {
     }
 
     #[test]
-    fn egds_are_sequential_and_do_not_glue_groups() {
+    fn egds_are_group_members_not_boundaries() {
+        // The egd reads A1, which tgd a writes: it joins a's group so its
+        // delta activations see a's same-sweep insertions. It glues nothing
+        // else — the unrelated b chain keeps its own group.
         let (part, _) = partition(
-            "tgd a: A0(x) -> A1(x).\n\
+            "tgd a: A0(x) -> A1(x, x).\n\
              egd e: A1(x, y1), A1(x, y2) -> y1 = y2.\n\
              tgd b: B0(x) -> B1(x).",
         );
-        assert_eq!(part.group_of(1), None);
         assert_eq!(part.group_count(), 2);
-        assert_ne!(part.group_of(0), part.group_of(2));
+        assert_eq!(part.group_of(1), part.group_of(0));
+        assert_ne!(part.group_of(2), part.group_of(0));
     }
 
     #[test]
-    fn mixed_tgd_egd_disjunct_is_sequential() {
-        let (part, _) = partition("dep d: S(x, y) -> T(x), x = y.");
-        assert_eq!(part.group_of(0), None);
-        assert_eq!(part.group_count(), 0);
+    fn egds_over_unwritten_relations_are_independent() {
+        // Nobody writes R0/R1: each egd is a pure reader and gets its own
+        // group — the k-way parallel obligation collection of the e9
+        // workload.
+        let (part, _) = partition(
+            "egd e0: R0(x, y1), R0(x, y2) -> y1 = y2.\n\
+             egd e1: R1(x, y1), R1(x, y2) -> y1 = y2.",
+        );
+        assert_eq!(part.group_count(), 2);
+        assert_ne!(part.group_of(0), part.group_of(1));
+    }
+
+    #[test]
+    fn mixed_tgd_egd_disjunct_writes_like_a_tgd() {
+        // The atom half of a mixed disjunct is an ordinary conclusion
+        // write; the equality half resolves at the barrier.
+        let (part, _) = partition(
+            "dep d: S(x, y) -> T(x), x = y.\n\
+             dep r: T(x), T(y) -> false.",
+        );
+        assert_eq!(part.group_count(), 1);
+        assert_eq!(part.group_of(1), part.group_of(0));
     }
 
     #[test]

@@ -37,6 +37,19 @@ pub struct ChaseStats {
     pub delta_activations: usize,
     /// Delta scheduler: total delta tuples used to seed premise evaluation.
     pub delta_tuples_seeded: usize,
+    /// Delta scheduler: delta tuples skipped by the anchor arity check in
+    /// `evaluate_body_from_delta` (stale entries from an arity-drifted
+    /// relation; counted once per anchor position).
+    pub stale_delta_skipped: usize,
+    /// Instance-wide null substitution passes applied on behalf of egd
+    /// enforcement. The batched Delta/Parallel schedulers apply exactly
+    /// one per merge-bearing sweep; the full-rescan reference loop one per
+    /// merging dependency per round.
+    pub substitution_passes: usize,
+    /// Equality obligations routed through the `NullMap` (one per equality
+    /// of each applied eq-bearing disjunct; the batched schedulers resolve
+    /// them once per sweep).
+    pub obligations_batched: usize,
 }
 
 impl ChaseStats {
@@ -55,6 +68,9 @@ impl ChaseStats {
         self.full_rescans += other.full_rescans;
         self.delta_activations += other.delta_activations;
         self.delta_tuples_seeded += other.delta_tuples_seeded;
+        self.stale_delta_skipped += other.stale_delta_skipped;
+        self.substitution_passes += other.substitution_passes;
+        self.obligations_batched += other.obligations_batched;
     }
 }
 
@@ -64,7 +80,7 @@ impl fmt::Display for ChaseStats {
             f,
             "rounds={} tgd_apps={} inserted={} nulls={} merges={} \
              scenarios={}(failed {}) nodes={} leaves={} \
-             rescans={} delta_acts={}",
+             rescans={} delta_acts={} subst_passes={} obligations={}",
             self.rounds,
             self.tgd_applications,
             self.tuples_inserted,
@@ -75,7 +91,9 @@ impl fmt::Display for ChaseStats {
             self.nodes_expanded,
             self.leaves,
             self.full_rescans,
-            self.delta_activations
+            self.delta_activations,
+            self.substitution_passes,
+            self.obligations_batched
         )
     }
 }
@@ -175,12 +193,18 @@ mod tests {
         let b = ChaseStats {
             rounds: 3,
             egd_merges: 4,
+            stale_delta_skipped: 5,
+            substitution_passes: 1,
+            obligations_batched: 6,
             ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 4);
         assert_eq!(a.tgd_applications, 2);
         assert_eq!(a.egd_merges, 4);
+        assert_eq!(a.stale_delta_skipped, 5);
+        assert_eq!(a.substitution_passes, 1);
+        assert_eq!(a.obligations_batched, 6);
     }
 
     #[test]

@@ -17,11 +17,40 @@
 //! correctness: every dependency's **first** activation (the initial
 //! instance is one big delta), and — after an **egd-driven null
 //! unification** — the dependencies whose premise reads a relation the
-//! substitution actually rewrote. [`Instance::substitute_nulls`] reports
-//! the rewritten relations, so deltas of dependencies reading only
+//! substitution actually rewrote. [`Instance::substitute_nulls_batch`]
+//! reports the rewritten relations, so deltas of dependencies reading only
 //! untouched relations survive the merge ([`Scheduler::invalidate_readers`]
 //! / [`Scheduler::post_surviving`]); the blanket
 //! [`Scheduler::invalidate_all`] remains as the conservative fallback.
+//!
+//! ## Sweep-level egd batching
+//!
+//! Egd repairs record equality *obligations* into the [`NullMap`]
+//! union-find without touching the instance. One sweep may accumulate
+//! obligations from any number of eq-bearing dependencies; the loop applies
+//! a **single** combined substitution pass per merge-bearing sweep
+//! ([`NullMap::flatten`] + [`Instance::substitute_nulls_batch`]) followed
+//! by a single targeted reader invalidation. Until that pass runs, the
+//! instance may hold nulls with pending replacements; violations matched
+//! against it are rechecked through
+//! [`grom_engine::disjunct_satisfied_resolved`] (values resolved through
+//! the union-find) so stale ones are skipped without a rewrite, and any
+//! premise match that only materializes *after* the rewrite is recovered
+//! by the sweep-end invalidation — its premise necessarily reads a
+//! rewritten relation.
+//!
+//! One class of dependency cannot run over pending obligations:
+//! *atom-bearing* conclusions (tgds, mixed disjuncts), whose restricted-
+//! chase satisfaction check embeds the conclusion into the **stored**
+//! instance — binding resolution cannot see through stale stored tuples,
+//! so such a check could miss a match that materializes after the rewrite
+//! and insert a redundant fresh-null tuple the substitution cannot merge
+//! away. The sweep loop therefore *flushes* the pending obligations
+//! immediately before an atom-bearing dependency with pending work —
+//! exactly where the declaration-ordered reference loop would have
+//! substituted — so runs of obligation-recording dependencies (the
+//! egd-heavy case) still share one combined pass, and egd-only
+//! merge-bearing sweeps get exactly one.
 //!
 //! The scheduler is shared by every chase variant: [`crate::standard`] runs
 //! it directly, the greedy and exhaustive ded chases of [`crate::ded`] run
@@ -36,7 +65,9 @@ use std::sync::Arc;
 use grom_data::{DeltaLog, Instance, NullGenerator, Tuple};
 use grom_lang::{Bindings, Dependency, Var};
 
-use grom_engine::{disjunct_satisfied, evaluate_body_from_delta, Control, Db};
+use grom_engine::{
+    disjunct_satisfied, disjunct_satisfied_resolved, evaluate_body_from_delta, Control, Db,
+};
 
 use crate::config::ChaseConfig;
 use crate::nullmap::NullMap;
@@ -107,6 +138,20 @@ impl Scheduler {
     /// Claim dependency `k`'s pending work, leaving it idle.
     pub(crate) fn take(&mut self, k: usize) -> Pending {
         std::mem::replace(&mut self.pending[k], Pending::Idle)
+    }
+
+    /// Does dependency `k` have pending work?
+    pub(crate) fn has_pending(&self, k: usize) -> bool {
+        !matches!(self.pending[k], Pending::Idle)
+    }
+
+    /// Re-schedule dependency `k` for a full rescan. Used by the parallel
+    /// executor when a worker *defers* an atom-bearing dependency whose
+    /// claimed work collided with pending equality obligations: `Full`
+    /// subsumes whatever delta was claimed, and the rescan runs after the
+    /// barrier substitution on the rewritten instance.
+    pub(crate) fn reschedule_full(&mut self, k: usize) {
+        self.pending[k] = Pending::Full;
     }
 
     /// Route a batch of newly inserted tuples to the dependencies their
@@ -180,16 +225,19 @@ impl Scheduler {
 /// deduplicated across anchor positions, in deterministic order. With
 /// `stop_at_first` (denials) at most one match is returned. Generic over
 /// [`Db`] so the parallel executor can evaluate against snapshot views.
+/// Stale delta tuples skipped by the anchor arity check are counted in
+/// `stats` instead of being dropped silently.
 pub(crate) fn delta_violations(
     db: &impl Db,
     dep: &Dependency,
     delta: &BTreeMap<Arc<str>, Vec<Tuple>>,
     stop_at_first: bool,
+    stats: &mut ChaseStats,
 ) -> Vec<Bindings> {
     let mut seen: BTreeSet<Vec<(Var, grom_data::Value)>> = BTreeSet::new();
     let mut out = Vec::new();
     for (rel, tuples) in delta {
-        evaluate_body_from_delta(db, &dep.premise, rel, tuples, |b| {
+        stats.stale_delta_skipped += evaluate_body_from_delta(db, &dep.premise, rel, tuples, |b| {
             if !dep.disjuncts.iter().any(|d| disjunct_satisfied(db, d, b)) {
                 let key: Vec<_> = b.iter().map(|(v, val)| (v.clone(), val.clone())).collect();
                 if seen.insert(key) {
@@ -210,11 +258,12 @@ pub(crate) fn delta_violations(
 
 /// Process one dependency's claimed worklist entry against the master
 /// instance: evaluate its violations (full or delta-seeded), repair them,
-/// and feed the resulting deltas — or, after an egd merge, the targeted
-/// invalidation — back into the scheduler.
+/// and feed the resulting deltas back into the scheduler. Equality repairs
+/// only record obligations into the shared [`NullMap`]; the instance is
+/// **not** rewritten here — the caller applies one combined substitution
+/// per merge-bearing sweep (see [`apply_sweep_merges`]). Returns whether
+/// this activation recorded any null merge.
 ///
-/// Shared by the sequential delta loop below and the sequential tail of the
-/// parallel executor (egds and mixed disjuncts run here in both modes).
 /// The worker-side twin is `run_group_job` in [`crate::parallel`] — keep
 /// the claim/evaluate/denial structure of the two in sync.
 pub(crate) fn run_dep_sequential(
@@ -225,10 +274,10 @@ pub(crate) fn run_dep_sequential(
     nullmap: &mut NullMap,
     nullgen: &mut NullGenerator,
     stats: &mut ChaseStats,
-) -> Result<(), ChaseError> {
+) -> Result<bool, ChaseError> {
     let dep = &deps[k];
     let violations = match sched.take(k) {
-        Pending::Idle => return Ok(()),
+        Pending::Idle => return Ok(false),
         Pending::Full => {
             stats.full_rescans += 1;
             if dep.is_denial() {
@@ -238,14 +287,14 @@ pub(crate) fn run_dep_sequential(
                         detail: format!("denial premise matched at {}", v.bindings),
                     });
                 }
-                return Ok(());
+                return Ok(false);
             }
             collect_violations(inst, dep)
         }
         Pending::Delta(map) => {
             stats.delta_activations += 1;
             stats.delta_tuples_seeded += map.values().map(Vec::len).sum::<usize>();
-            let vs = delta_violations(inst, dep, &map, dep.is_denial());
+            let vs = delta_violations(inst, dep, &map, dep.is_denial(), stats);
             if dep.is_denial() {
                 if let Some(b) = vs.first() {
                     return Err(ChaseError::Failure {
@@ -253,42 +302,79 @@ pub(crate) fn run_dep_sequential(
                         detail: format!("denial premise matched at {b}"),
                     });
                 }
-                return Ok(());
+                return Ok(false);
             }
             vs
         }
     };
     if violations.is_empty() {
-        return Ok(());
+        return Ok(false);
     }
 
     let mut any_merge = false;
     for b in &violations {
-        let b = resolve_bindings(b, nullmap);
-        // Re-check under the resolved bindings: earlier repairs in this
-        // batch may already satisfy the match (exactly as in the
-        // full-rescan loop).
-        if disjunct_satisfied(inst, &dep.disjuncts[0], &b) {
-            continue;
+        // Satisfied-under-pending-obligations recheck: earlier repairs in
+        // this batch may already satisfy the match even though the
+        // instance has not been rewritten yet. With an empty null map
+        // (egd-free workloads, the common case) the resolution is the
+        // identity, so the raw bindings are checked — and applied —
+        // directly, skipping two clone-and-resolve passes per violation.
+        if nullmap.is_empty() {
+            if disjunct_satisfied(inst, &dep.disjuncts[0], b) {
+                continue;
+            }
+            any_merge |= apply_disjunct(inst, dep, 0, b, nullmap, nullgen, stats)?;
+        } else {
+            if disjunct_satisfied_resolved(inst, &dep.disjuncts[0], b, &mut |v| nullmap.resolve(v))
+            {
+                continue;
+            }
+            let b = resolve_bindings(b, nullmap);
+            any_merge |= apply_disjunct(inst, dep, 0, &b, nullmap, nullgen, stats)?;
         }
-        let merged = apply_disjunct(inst, dep, 0, &b, nullmap, nullgen, stats)?;
-        any_merge |= merged;
     }
 
     let log = inst.take_delta();
-    if any_merge {
-        // Null unification rewrites tuples in place, but only in the
-        // relations the substitution reports as changed: their logged
-        // deltas are stale (readers go back to full rescans), everything
-        // else survives and is routed as usual.
-        let changed = inst.substitute_nulls(|id| nullmap.lookup(id));
-        inst.take_delta(); // discard the invalidation marker
-        sched.invalidate_readers(&changed);
-        sched.post_surviving(&log, &changed);
-    } else if !log.is_empty() {
+    if !log.is_empty() {
+        // Route everything; if this sweep turns out to be merge-bearing,
+        // the sweep-end invalidation re-marks every reader of a rewritten
+        // relation Full, subsuming any stale tuples routed here.
         sched.post(&log);
     }
-    Ok(())
+    Ok(any_merge)
+}
+
+/// Does any disjunct of `dep` conclude atoms? Atom-bearing repairs embed
+/// their conclusion into the *stored* instance (`has_match`), which the
+/// pending-obligation resolution cannot see through: running one while
+/// obligations are pending could miss a match that only materializes after
+/// the substitution and insert a redundant fresh-null tuple the
+/// substitution cannot merge away. The batched loops therefore flush (or
+/// defer) around such dependencies; pure egds, denials and
+/// comparison-only disjuncts are binding-level checks and need neither.
+pub(crate) fn concludes_atoms(dep: &Dependency) -> bool {
+    dep.disjuncts.iter().any(|d| !d.atoms.is_empty())
+}
+
+/// Apply one sweep's accumulated equality obligations: flatten the
+/// union-find once, rewrite the instance in a **single** combined pass,
+/// and re-schedule exactly the dependencies whose premise reads a
+/// rewritten relation. Called once per merge-bearing sweep by the
+/// sequential delta loop and by the parallel executor's sweep barrier —
+/// plus mid-sweep when an atom-bearing dependency is about to run with
+/// obligations pending, so its satisfaction checks see exactly the
+/// instance state the declaration-ordered reference loop gives them.
+pub(crate) fn apply_sweep_merges(
+    inst: &mut Instance,
+    nullmap: &mut NullMap,
+    sched: &mut Scheduler,
+    stats: &mut ChaseStats,
+) {
+    let map = nullmap.flatten();
+    let changed = inst.substitute_nulls_batch(&map);
+    inst.take_delta(); // discard the invalidation marker, if tracking
+    stats.substitution_passes += 1;
+    sched.invalidate_readers(&changed);
 }
 
 /// The delta-driven standard chase: same semantics and failure modes as
@@ -321,8 +407,20 @@ pub(crate) fn chase_standard_delta(
             break;
         }
 
+        let mut sweep_merged = false;
         for k in 0..deps.len() {
-            run_dep_sequential(
+            // An atom-bearing dependency must not evaluate against an
+            // instance with pending obligations (its embedding checks
+            // read stored tuples the resolution cannot see through):
+            // flush first, exactly where the declaration-ordered
+            // reference loop would have substituted. Runs of
+            // obligation-recording dependencies — the egd-heavy case —
+            // still share one combined pass.
+            if sweep_merged && concludes_atoms(&deps[k]) && sched.has_pending(k) {
+                apply_sweep_merges(&mut inst, &mut nullmap, &mut sched, &mut stats);
+                sweep_merged = false;
+            }
+            sweep_merged |= run_dep_sequential(
                 &mut inst,
                 deps,
                 k,
@@ -331,6 +429,11 @@ pub(crate) fn chase_standard_delta(
                 &mut nullgen,
                 &mut stats,
             )?;
+        }
+        if sweep_merged {
+            // One combined substitution pass for the sweep's remaining
+            // obligations, however many dependencies recorded them.
+            apply_sweep_merges(&mut inst, &mut nullmap, &mut sched, &mut stats);
         }
     }
 
@@ -405,6 +508,104 @@ mod tests {
         sched.invalidate_readers(&[Arc::from("A")]);
         assert!(matches!(sched.take(0), Pending::Full));
         assert!(matches!(sched.take(1), Pending::Delta(_)));
+    }
+
+    #[test]
+    fn merge_bearing_sweep_substitutes_exactly_once() {
+        // Two independent key egds, both violated in the same sweep: their
+        // obligations are batched into ONE substitution pass, not one per
+        // dependency as in the full-rescan reference loop.
+        let p = parse_program(
+            "egd e1: T(x, y1), T(x, y2) -> y1 = y2.\n\
+             egd e2: U(x, y1), U(x, y2) -> y1 = y2.",
+        )
+        .unwrap();
+        let mut inst = Instance::new();
+        inst.add("T", vec![Value::int(1), Value::null(0)]).unwrap();
+        inst.add("T", vec![Value::int(1), Value::int(5)]).unwrap();
+        inst.add("U", vec![Value::int(2), Value::null(1)]).unwrap();
+        inst.add("U", vec![Value::int(2), Value::int(7)]).unwrap();
+        let res = chase_standard_delta(inst, &p.deps, &ChaseConfig::default()).unwrap();
+        assert_eq!(res.stats.substitution_passes, 1);
+        assert_eq!(res.stats.egd_merges, 2);
+        assert!(res.stats.obligations_batched >= 2);
+        let t: Vec<_> = res.instance.tuples("T").collect();
+        let u: Vec<_> = res.instance.tuples("U").collect();
+        assert_eq!((t.len(), u.len()), (1, 1));
+        assert_eq!(t[0].get(1), Some(&Value::int(5)));
+        assert_eq!(u[0].get(1), Some(&Value::int(7)));
+    }
+
+    #[test]
+    fn each_merge_bearing_sweep_substitutes_once() {
+        // A two-stage merge: eU's violation only materializes after eT's
+        // substitution rewrites U's key column, so the chase needs two
+        // merge-bearing sweeps — and exactly two substitution passes.
+        let p = parse_program(
+            "egd eT: T(x, y1), T(x, y2) -> y1 = y2.\n\
+             egd eU: U(k, a1), U(k, a2) -> a1 = a2.",
+        )
+        .unwrap();
+        let mut inst = Instance::new();
+        inst.add("T", vec![Value::int(1), Value::null(0)]).unwrap();
+        inst.add("T", vec![Value::int(1), Value::null(1)]).unwrap();
+        inst.add("U", vec![Value::null(1), Value::null(5)]).unwrap();
+        inst.add("U", vec![Value::null(0), Value::int(4)]).unwrap();
+        let res = chase_standard_delta(inst, &p.deps, &ChaseConfig::default()).unwrap();
+        // Sweep 1 merges N1 -> N0 (eT); the rewrite makes U's two keys
+        // collide, so sweep 2 merges N5 -> 4 (eU).
+        assert_eq!(res.stats.substitution_passes, 2);
+        assert_eq!(res.stats.egd_merges, 2);
+        let u: Vec<_> = res.instance.tuples("U").collect();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].get(0), Some(&Value::null(0)));
+        assert_eq!(u[0].get(1), Some(&Value::int(4)));
+    }
+
+    #[test]
+    fn tgd_after_merging_egd_sees_the_rewritten_instance() {
+        // t2 is declared *after* the merging egd, so the
+        // declaration-ordered reference substitutes before t2's
+        // satisfaction check runs. The batched sweep must flush its
+        // pending obligations before t2 (an atom-bearing dependency whose
+        // embedding check reads stored tuples the binding resolution
+        // cannot see through) — otherwise t2 misses the post-substitution
+        // match T(5, 7) and inserts a redundant T(5, N) with a fresh null
+        // the sweep-end substitution cannot merge away.
+        use crate::config::SchedulerMode;
+        use crate::standard::{chase_standard, chase_standard_full_rescan};
+        use grom_data::canonical_render;
+        let p = parse_program(
+            "tgd t1: A(x) -> T(y, x).\n\
+             egd e: T(a, b), W(c, b) -> a = c.\n\
+             tgd t2: W(c, b) -> T(c, z).",
+        )
+        .unwrap();
+        let mut start = Instance::new();
+        start.add("A", vec![Value::int(7)]).unwrap();
+        start.add("W", vec![Value::int(5), Value::int(7)]).unwrap();
+        let reference =
+            chase_standard_full_rescan(start.clone(), &p.deps, &ChaseConfig::default()).unwrap();
+        assert_eq!(reference.instance.len(), 3);
+
+        let batched =
+            chase_standard_delta(start.clone(), &p.deps, &ChaseConfig::default()).unwrap();
+        assert_eq!(
+            canonical_render(&reference.instance),
+            canonical_render(&batched.instance)
+        );
+        // t1, e and t2 share relation T, so they form one conflict group
+        // and the worker defers t2 past the barrier substitution.
+        let par = chase_standard(
+            start,
+            &p.deps,
+            &ChaseConfig::default().with_scheduler(SchedulerMode::Parallel { threads: 2 }),
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_render(&reference.instance),
+            canonical_render(&par.instance)
+        );
     }
 
     #[test]

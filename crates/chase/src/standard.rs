@@ -97,10 +97,13 @@ pub(crate) fn apply_disjunct(
 
     let mut merged = false;
 
-    // Equalities.
+    // Equalities: each one is an obligation routed through the union-find;
+    // the batched schedulers resolve the instance once per sweep, the
+    // full-rescan reference once per merging dependency.
     for (l, r) in &disjunct.eqs {
         let lv = eval_bound_term(l, bindings, dep)?;
         let rv = eval_bound_term(r, bindings, dep)?;
+        stats.obligations_batched += 1;
         match nullmap.unify(&lv, &rv) {
             Unify::Noop => {}
             Unify::Merged => {
@@ -143,7 +146,11 @@ pub(crate) fn apply_disjunct(
     Ok(merged)
 }
 
-fn eval_bound_term(t: &Term, bindings: &Bindings, dep: &Dependency) -> Result<Value, ChaseError> {
+pub(crate) fn eval_bound_term(
+    t: &Term,
+    bindings: &Bindings,
+    dep: &Dependency,
+) -> Result<Value, ChaseError> {
     bindings
         .eval_term(t)
         .ok_or_else(|| ChaseError::NotExecutable {
@@ -253,6 +260,7 @@ pub fn chase_standard_full_rescan(
             }
             if any_merge {
                 inst.substitute_nulls(|id| nullmap.lookup(id));
+                stats.substitution_passes += 1;
             }
         }
 

@@ -395,6 +395,24 @@ impl Instance {
             .max()
     }
 
+    /// Apply a *fully resolved* multi-mapping null substitution in one
+    /// pass: `map` sends each mapped label directly to its final value (no
+    /// chains — the caller collapses them once, e.g. with the chase's
+    /// `NullMap::flatten`), so every occurrence costs a single hash lookup
+    /// instead of a chain walk.
+    ///
+    /// This is the entry point of sweep-level egd batching: the chase
+    /// accumulates a whole sweep's equality obligations in its union-find
+    /// and applies them to the instance in one combined pass. Semantics are
+    /// otherwise identical to [`Instance::substitute_nulls`], including the
+    /// changed-relation report and delta-log invalidation.
+    pub fn substitute_nulls_batch(&mut self, map: &HashMap<NullId, Value>) -> Vec<Arc<str>> {
+        if map.is_empty() {
+            return Vec::new();
+        }
+        self.substitute_nulls(|id| map.get(&id).cloned())
+    }
+
     /// Apply a null substitution everywhere, rebuilding every touched
     /// relation. Tuples that become equal after substitution are merged.
     /// Returns the names of the relations that were rewritten.
@@ -403,7 +421,9 @@ impl Instance {
     /// which labels map to which values (union-find in `grom-chase`) and
     /// calls this to normalize the instance. Because rewritten tuples may
     /// alias tuples a [`DeltaLog`] recorded earlier, any active delta log is
-    /// marked invalidated when a relation changes.
+    /// marked invalidated when a relation changes. Callers holding a
+    /// pre-flattened mapping should prefer the one-pass
+    /// [`Instance::substitute_nulls_batch`].
     pub fn substitute_nulls(
         &mut self,
         mut lookup: impl FnMut(NullId) -> Option<Value>,
@@ -555,6 +575,22 @@ mod tests {
         let rel = inst.relation("R").unwrap();
         assert_eq!(rel.scan(&[Some(v(3)), None]).len(), 1);
         assert!(rel.scan(&[Some(Value::null(0)), None]).is_empty());
+    }
+
+    #[test]
+    fn substitute_nulls_batch_applies_flat_map_once() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![Value::null(0), Value::null(2)]).unwrap();
+        inst.add("S", vec![Value::null(1)]).unwrap();
+        // A flat (pre-resolved) multi-mapping: N0 and N1 in one pass.
+        let map: HashMap<NullId, Value> =
+            [(NullId(0), v(7)), (NullId(1), v(8))].into_iter().collect();
+        let changed = inst.substitute_nulls_batch(&map);
+        assert_eq!(changed.len(), 2);
+        assert!(inst.contains_fact("R", &Tuple::new(vec![v(7), Value::null(2)])));
+        assert!(inst.contains_fact("S", &Tuple::new(vec![v(8)])));
+        // An empty map is a no-op and reports no changes.
+        assert!(inst.substitute_nulls_batch(&HashMap::new()).is_empty());
     }
 
     #[test]

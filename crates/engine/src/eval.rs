@@ -89,13 +89,19 @@ pub fn evaluate_body_streaming(
 /// A solution that uses delta tuples in *several* anchor positions is
 /// enumerated once per anchor; callers that need set semantics must
 /// deduplicate (the chase scheduler does).
+///
+/// Returns the number of delta tuples skipped by the anchor arity check —
+/// stale entries logged before their relation's arity drifted. Callers
+/// surface this in their statistics (`ChaseStats::stale_delta_skipped` in
+/// the chase) instead of dropping the tuples silently; one tuple skipped
+/// at several anchor positions counts once per position.
 pub fn evaluate_body_from_delta(
     db: &impl Db,
     body: &[Literal],
     delta_relation: &str,
     delta_tuples: &[grom_data::Tuple],
     mut visit: impl FnMut(&Bindings) -> Control,
-) {
+) -> usize {
     let mut bindable: BTreeSet<Var> = BTreeSet::new();
     for lit in body {
         if let Literal::Pos(a) = lit {
@@ -103,6 +109,7 @@ pub fn evaluate_body_from_delta(
         }
     }
 
+    let mut stale_skipped = 0;
     for anchor in 0..body.len() {
         let Literal::Pos(atom) = &body[anchor] else {
             continue;
@@ -117,7 +124,10 @@ pub fn evaluate_body_from_delta(
             .collect();
         for tuple in delta_tuples {
             if tuple.arity() != atom.args.len() {
-                continue; // stale delta from an arity-drifted relation
+                // Stale delta from an arity-drifted relation: counted, not
+                // silently dropped.
+                stale_skipped += 1;
+                continue;
             }
             // Each delta tuple gets its own Bindings, so there is nothing
             // to unwind after the solve.
@@ -126,10 +136,11 @@ pub fn evaluate_body_from_delta(
                 continue;
             }
             if solve(db, &mut remaining, &mut bindings, &bindable, &mut visit) == Control::Stop {
-                return;
+                return stale_skipped;
             }
         }
     }
+    stale_skipped
 }
 
 /// Is `lit` ready to run as a filter under `bindings`?
@@ -470,6 +481,31 @@ mod tests {
             Control::Continue
         });
         assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn delta_seeding_counts_stale_arity_skips() {
+        let inst = db();
+        // E has arity 2; a unary delta tuple is stale and must be counted
+        // once per anchor position, never silently dropped.
+        let body = vec![
+            Literal::Pos(atom("E", &["x", "y"])),
+            Literal::Pos(atom("E", &["y", "z"])),
+        ];
+        let delta = vec![
+            grom_data::Tuple::new(vec![Value::int(2)]),
+            grom_data::Tuple::new(vec![Value::int(2), Value::int(3)]),
+        ];
+        let mut sols = 0;
+        let skipped = evaluate_body_from_delta(&inst, &body, "E", &delta, |_| {
+            sols += 1;
+            Control::Continue
+        });
+        assert_eq!(skipped, 2); // the stale tuple, at both anchors
+        assert_eq!(sols, 2); // the well-formed tuple still seeds matches
+        let skipped =
+            evaluate_body_from_delta(&inst, &body, "E", &delta[1..], |_| Control::Continue);
+        assert_eq!(skipped, 0);
     }
 
     #[test]

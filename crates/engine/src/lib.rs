@@ -35,5 +35,6 @@ pub use materialize::{
 };
 pub use query::Query;
 pub use satisfy::{
-    dependency_satisfied, disjunct_satisfied, find_violation, instance_satisfies, Violation,
+    dependency_satisfied, disjunct_satisfied, disjunct_satisfied_resolved, find_violation,
+    instance_satisfies, Violation,
 };

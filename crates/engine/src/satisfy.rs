@@ -62,6 +62,37 @@ pub fn disjunct_satisfied(db: &impl Db, disjunct: &Disjunct, bindings: &Bindings
     has_match(db, &body, bindings)
 }
 
+/// Is `disjunct` satisfied under `bindings` once every bound value is
+/// resolved through `resolve`?
+///
+/// This is the *satisfied-under-pending-obligations* recheck of the chase's
+/// sweep-level egd batching: equality obligations are recorded in a
+/// union-find but the instance is only rewritten once per sweep, so a
+/// violation matched against the un-rewritten instance may carry nulls
+/// that already have pending replacements. Resolving the bound values
+/// before the check lets such stale violations be skipped without an
+/// instance rewrite. A satisfied verdict is always genuine, because
+/// substitution is a homomorphism and never destroys an embedding. The
+/// converse does not hold: stored tuples are *not* resolved, so a
+/// disjunct with conclusion atoms can test unsatisfied even though the
+/// pending rewrite would satisfy it — repairing it then invents a
+/// redundant fresh null the substitution cannot merge away. Callers must
+/// not apply atom-bearing repairs while obligations are pending (the
+/// chase flushes or defers them first); for equality- and comparison-only
+/// disjuncts the check is exact.
+pub fn disjunct_satisfied_resolved(
+    db: &impl Db,
+    disjunct: &Disjunct,
+    bindings: &Bindings,
+    resolve: &mut impl FnMut(&grom_data::Value) -> grom_data::Value,
+) -> bool {
+    let mut resolved = Bindings::new();
+    for (var, val) in bindings.iter() {
+        resolved.bind(var.clone(), resolve(val));
+    }
+    disjunct_satisfied(db, disjunct, &resolved)
+}
+
 /// Find the first violation of `dep` in `db`, if any.
 pub fn find_violation(db: &impl Db, dep: &Dependency) -> Option<Violation> {
     let mut found = None;
@@ -192,6 +223,41 @@ mod tests {
         assert!(dependency_satisfied(&db, &dep));
         let db = inst(&[("S", &[1])]);
         assert!(!dependency_satisfied(&db, &dep));
+    }
+
+    #[test]
+    fn resolved_recheck_sees_pending_obligations() {
+        // egd disjunct y1 = y2: the raw bindings carry two distinct nulls,
+        // but under a pending-obligation resolver mapping N1 -> N0 the
+        // equality holds and the violation is stale.
+        let dep = parse_dependency("egd e: T(x, y1), T(x, y2) -> y1 = y2.").unwrap();
+        let db = Instance::new();
+        let mut b = Bindings::new();
+        b.bind("x".into(), Value::int(1));
+        b.bind("y1".into(), Value::null(0));
+        b.bind("y2".into(), Value::null(1));
+        assert!(!disjunct_satisfied(&db, &dep.disjuncts[0], &b));
+        let mut resolve = |v: &Value| {
+            if v == &Value::null(1) {
+                Value::null(0)
+            } else {
+                v.clone()
+            }
+        };
+        assert!(disjunct_satisfied_resolved(
+            &db,
+            &dep.disjuncts[0],
+            &b,
+            &mut resolve
+        ));
+        // An identity resolver changes nothing.
+        let mut id = |v: &Value| v.clone();
+        assert!(!disjunct_satisfied_resolved(
+            &db,
+            &dep.disjuncts[0],
+            &b,
+            &mut id
+        ));
     }
 
     #[test]

@@ -15,12 +15,16 @@
 //! 2. **Shard** — each worker wraps the snapshot in a [`ShardView`]: reads
 //!    see the union of the snapshot and the worker's private insertion
 //!    buffer; writes go to the buffer only, deduplicated against both.
-//!    Fresh labeled nulls come from disjoint per-worker strided ranges
+//!    Equality repairs never write at all — they record obligations into
+//!    the view's obligation buffer for the coordinator. Fresh labeled
+//!    nulls come from disjoint per-worker strided ranges
 //!    ([`grom_data::StridedNullGenerator`]), so workers never race on
 //!    labels.
 //! 3. **Merge** — at the sweep barrier the coordinator folds each worker's
 //!    buffered [`DeltaLog`] back into the master instance *in job order*
-//!    ([`grom_data::Instance::absorb_delta`]).
+//!    ([`grom_data::Instance::absorb_delta`]) and unifies the merged
+//!    obligation buffers deterministically before the sweep's single null
+//!    substitution.
 //!
 //! ## Determinism guarantee
 //!

@@ -9,9 +9,15 @@
 //! against both layers, and are recorded in a [`DeltaLog`] the coordinator
 //! merges at the sweep barrier.
 //!
-//! The two layers are disjoint by construction (a tuple already present in
-//! the snapshot is never added to the buffer), so union queries need no
-//! deduplication and tuple counts simply add.
+//! Alongside the insertion buffer the view carries an **equality
+//! obligation buffer**: egd repairs running on a worker cannot rewrite the
+//! shared instance, so they record the pair of values to be unified and
+//! hand the buffer to the coordinator, which performs the combined
+//! unification and the single null-substitution pass at the sweep barrier.
+//!
+//! The two storage layers are disjoint by construction (a tuple already
+//! present in the snapshot is never added to the buffer), so union queries
+//! need no deduplication and tuple counts simply add.
 
 use std::sync::Arc;
 
@@ -26,6 +32,9 @@ pub struct ShardView<'a> {
     /// The worker's buffered insertions; always delta-tracked, always
     /// disjoint from `base`.
     local: Instance,
+    /// Equality obligations recorded by egd repairs, in collection order;
+    /// unified by the coordinator at the sweep barrier.
+    obligations: Vec<(Value, Value)>,
 }
 
 impl<'a> ShardView<'a> {
@@ -33,7 +42,11 @@ impl<'a> ShardView<'a> {
     pub fn new(base: &'a Instance) -> Self {
         let mut local = Instance::new();
         local.begin_delta_tracking();
-        Self { base, local }
+        Self {
+            base,
+            local,
+            obligations: Vec::new(),
+        }
     }
 
     /// The shared snapshot this view reads through to.
@@ -62,6 +75,20 @@ impl<'a> ShardView<'a> {
     /// Drain the log of insertions buffered since the last drain.
     pub fn take_delta(&mut self) -> DeltaLog {
         self.local.take_delta()
+    }
+
+    /// Record an equality obligation `left = right` for the coordinator's
+    /// barrier unification. Values are stored raw (unresolved): the
+    /// coordinator resolves them against the authoritative null map when it
+    /// unifies the merged buffers.
+    pub fn record_obligation(&mut self, left: Value, right: Value) {
+        self.obligations.push((left, right));
+    }
+
+    /// Drain the obligations recorded since the last drain, in collection
+    /// order.
+    pub fn take_obligations(&mut self) -> Vec<(Value, Value)> {
+        std::mem::take(&mut self.obligations)
     }
 
     /// Total buffered tuples (across all drains' worth still stored).
@@ -153,6 +180,20 @@ mod tests {
         let mut view = ShardView::new(&base);
         let err = view.insert(&rel("R"), Tuple::new(vec![v(1)])).unwrap_err();
         assert!(matches!(err, DataError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn obligation_buffer_drains_in_order() {
+        let base = Instance::new();
+        let mut view = ShardView::new(&base);
+        view.record_obligation(Value::null(0), v(5));
+        view.record_obligation(Value::null(1), Value::null(0));
+        let obs = view.take_obligations();
+        assert_eq!(
+            obs,
+            vec![(Value::null(0), v(5)), (Value::null(1), Value::null(0)),]
+        );
+        assert!(view.take_obligations().is_empty());
     }
 
     #[test]

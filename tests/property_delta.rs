@@ -73,6 +73,23 @@ fn arb_egd() -> impl Strategy<Value = Dependency> {
     })
 }
 
+/// A cross-relation egd `Ra(x, y), Rb(x, z) -> y = z`: the shape that
+/// chains merges *across* relations, building the long union-find chains
+/// sweep-level batching resolves in one pass.
+fn arb_cross_egd() -> impl Strategy<Value = Dependency> {
+    (0usize..3, 0usize..3).prop_map(|(a, b)| {
+        Dependency::egd(
+            "e",
+            vec![
+                Literal::Pos(Atom::new(RELS[a], vec![Term::var("x"), Term::var("y")])),
+                Literal::Pos(Atom::new(RELS[b], vec![Term::var("x"), Term::var("z")])),
+            ],
+            Term::var("y"),
+            Term::var("z"),
+        )
+    })
+}
+
 /// A random program, rejection-sampled down to the weakly acyclic
 /// fragment (where both schedulers are guaranteed to terminate).
 fn arb_wa_program() -> impl Strategy<Value = Vec<Dependency>> {
@@ -98,6 +115,38 @@ fn arb_wa_program() -> impl Strategy<Value = Vec<Dependency>> {
                 if i % 2 == 0 {
                     deps.extend(egds.next());
                 }
+            }
+            deps.extend(egds);
+            deps
+        })
+        .prop_filter("weakly acyclic", |deps| {
+            grom::chase::is_weakly_acyclic(deps).weakly_acyclic
+        })
+}
+
+/// An egd-rich random program: more egds than tgds, mixing same-relation
+/// key egds with cross-relation ones, interleaved between the tgds so the
+/// parallel executor sees eq-bearing dependencies at arbitrary positions.
+/// Existential tgds guarantee labeled nulls for the egds to merge.
+fn arb_egd_rich_program() -> impl Strategy<Value = Vec<Dependency>> {
+    (
+        prop::collection::vec(arb_tgd(), 1..3),
+        prop::collection::vec(prop_oneof![arb_egd(), arb_cross_egd()], 1..5),
+    )
+        .prop_map(|(mut tgds, mut egds)| {
+            for (i, d) in tgds.iter_mut().enumerate() {
+                d.name = format!("t{i}").into();
+            }
+            for (i, e) in egds.iter_mut().enumerate() {
+                e.name = format!("e{i}").into();
+            }
+            // Egds interleave with — and outnumber — the tgds, so most
+            // sweeps carry several obligation-recording dependencies.
+            let mut deps = Vec::new();
+            let mut egds = egds.into_iter();
+            for t in tgds {
+                deps.extend(egds.next());
+                deps.push(t);
             }
             deps.extend(egds);
             deps
@@ -206,6 +255,63 @@ proptest! {
                     let p = p.map(|r| r.stats);
                     prop_assert!(false,
                         "schedulers diverge at {threads} threads: naive={n:?} parallel={p:?}");
+                }
+            }
+        }
+    }
+
+    /// The egd-batching equivalence property: on egd-rich weakly acyclic
+    /// programs (several same- and cross-relation egds per tgd, so sweeps
+    /// routinely batch obligations from multiple dependencies into one
+    /// substitution pass), the batched sequential scheduler and the
+    /// parallel executor at 2 and 4 threads must produce the same
+    /// instances as the per-dependency-substituting full-rescan reference,
+    /// up to null renaming, and agree on every failure mode.
+    #[test]
+    fn egd_rich_programs_agree_across_schedulers(
+        deps in arb_egd_rich_program(),
+        inst in arb_instance(),
+    ) {
+        let naive = chase_standard_full_rescan(
+            inst.clone(), &deps, &cfg(SchedulerMode::FullRescan));
+        let modes = [
+            SchedulerMode::Delta,
+            SchedulerMode::Parallel { threads: 2 },
+            SchedulerMode::Parallel { threads: 4 },
+        ];
+        for mode in modes {
+            let batched = chase_standard(inst.clone(), &deps, &cfg(mode));
+            match (&naive, batched) {
+                (Ok(n), Ok(b)) => {
+                    prop_assert_eq!(
+                        canonical_render(&n.instance),
+                        canonical_render(&b.instance),
+                        "instances differ up to null renaming under {:?}", mode
+                    );
+                    for dep in &deps {
+                        prop_assert!(dependency_satisfied(&b.instance, dep));
+                    }
+                    prop_assert_eq!(n.instance.len(), b.instance.len());
+                    // Batching invariant: never more substitution passes
+                    // than merge-recording sweeps; with no merges, none.
+                    if b.stats.egd_merges == 0 {
+                        prop_assert_eq!(b.stats.substitution_passes, 0);
+                    } else {
+                        prop_assert!(
+                            b.stats.substitution_passes <= b.stats.egd_merges,
+                            "at most one pass per merge: passes={} merges={}",
+                            b.stats.substitution_passes, b.stats.egd_merges
+                        );
+                    }
+                }
+                // Constant clashes must be seen by both schedulers
+                // (possibly at different dependencies/sweeps).
+                (Err(ChaseError::Failure { .. }), Err(ChaseError::Failure { .. })) => {}
+                (n, b) => {
+                    let n = n.as_ref().map(|r| r.stats.clone());
+                    let b = b.map(|r| r.stats);
+                    prop_assert!(false,
+                        "schedulers diverge under {mode:?}: naive={n:?} batched={b:?}");
                 }
             }
         }
