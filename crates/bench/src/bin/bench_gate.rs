@@ -18,8 +18,13 @@
 //!   `GROM_BENCH_GATE_MIN_MS`) where shares of a millisecond are jitter,
 //!   not signal.
 //!
-//! Workloads only present in the candidate are reported but never fail the
-//! gate — new benches should not need a baseline update to land.
+//! Workloads only present in the candidate do not fail the gate by default
+//! — new benches should not need a baseline update to land — but each one
+//! is called out with a `::warning::` annotation so an ungated workload is
+//! a visible, deliberate state rather than a silent skip. Set
+//! `GROM_BENCH_GATE_STRICT_NEW=1` to turn those warnings into failures
+//! (useful right after regenerating the baseline, when nothing should be
+//! new).
 //!
 //! ## Cross-machine calibration
 //!
@@ -162,6 +167,20 @@ fn is_core_count_dependent(name: &str) -> bool {
     name.contains("/threads=")
 }
 
+/// Candidate records the baseline knows nothing about (the calibration
+/// record excluded). These run ungated, which is exactly the kind of
+/// silent coverage gap that must be warned about, not skipped over.
+fn unknown_records(
+    baseline: &BTreeMap<String, f64>,
+    candidate: &BTreeMap<String, f64>,
+) -> Vec<String> {
+    candidate
+        .keys()
+        .filter(|name| name.as_str() != CALIBRATION_RECORD && !baseline.contains_key(*name))
+        .cloned()
+        .collect()
+}
+
 fn env_f64(key: &str) -> Option<f64> {
     std::env::var(key).ok()?.parse().ok()
 }
@@ -251,10 +270,28 @@ fn main() -> ExitCode {
             base_ms * cfg.scale
         );
     }
-    for name in candidate.keys() {
-        if name != CALIBRATION_RECORD && !baseline.contains_key(name) {
-            println!("  {name}: new workload (no baseline, not gated)");
+    let unknown = unknown_records(&baseline, &candidate);
+    let strict_new = std::env::var("GROM_BENCH_GATE_STRICT_NEW").is_ok();
+    for name in &unknown {
+        // GitHub Actions renders `::warning::` lines as annotations, so a
+        // workload running ungated is visible in the checks UI, not just
+        // buried in the job log.
+        println!("::warning::bench_gate: `{name}` has no baseline record and is NOT gated");
+        if strict_new {
+            failures += 1;
         }
+    }
+    if !unknown.is_empty() {
+        println!(
+            "  {} candidate workload(s) unknown to the baseline{}; regenerate \
+             BENCH_baseline.json to gate them",
+            unknown.len(),
+            if strict_new {
+                " (failing: GROM_BENCH_GATE_STRICT_NEW is set)"
+            } else {
+                ""
+            }
+        );
     }
 
     if failures > 0 {
@@ -345,6 +382,24 @@ mod tests {
         };
         assert_eq!(judge(100.0, Some(70.0), &fast), Verdict::Regressed);
         assert_eq!(judge(100.0, Some(55.0), &fast), Verdict::Ok);
+    }
+
+    #[test]
+    fn unknown_candidate_records_are_surfaced_not_skipped() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("e1/known".to_string(), 10.0);
+        baseline.insert(CALIBRATION_RECORD.to_string(), 5.0);
+        let mut candidate = BTreeMap::new();
+        candidate.insert("e1/known".to_string(), 11.0);
+        candidate.insert("e10/new_workload".to_string(), 3.0);
+        candidate.insert(CALIBRATION_RECORD.to_string(), 5.0);
+        assert_eq!(
+            unknown_records(&baseline, &candidate),
+            vec!["e10/new_workload".to_string()]
+        );
+        // Calibration is infrastructure, never an "unknown workload".
+        candidate.remove("e10/new_workload");
+        assert!(unknown_records(&baseline, &candidate).is_empty());
     }
 
     #[test]

@@ -547,6 +547,68 @@ fn e9() -> Table {
     t
 }
 
+/// E10 — conformance-corpus cliff scenarios: the generator specs behind the
+/// committed corpus entries of the same names (`corpus/<entry>/spec.gen`),
+/// chased under every scheduler mode. This puts the corpus's cliff shapes —
+/// deep copy chains, egd merge cascades, the dense all-primitive mix — on
+/// the bench-gate radar, so a scheduler change that slows them down fails
+/// CI even when the conformance output stays correct. The full profile
+/// scales the instances up for timing signal; record names stay
+/// profile-independent. Parallel-mode records carry `threads=` so the gate
+/// reports them without gating (core-count dependent).
+fn e10() -> Table {
+    use grom::scenarios::{all_modes, generate, ScenarioSpec};
+    let mut t = Table::new(
+        "E10: corpus cliff scenarios across scheduler modes",
+        &[
+            "entry",
+            "tuples",
+            "full_rescan ms",
+            "delta ms",
+            "2 threads ms",
+            "4 threads ms",
+        ],
+    );
+    let cliffs = [
+        ("copy_deep", "mix=copy:1 depth=8 egd=0.00 seed=102 scale=2"),
+        ("er_cliff", "mix=er:1 depth=4 egd=1.00 seed=143 scale=3"),
+        (
+            "mix_all_scaled",
+            "mix=copy:2,fusion:1,vpart:2,denorm:1,er:2 depth=3 egd=0.50 seed=163 scale=3",
+        ),
+        (
+            "cliff_null_cascade",
+            "mix=vpart:3,er:2 depth=5 egd=1.00 seed=171 scale=3",
+        ),
+    ];
+    for (name, line) in cliffs {
+        let mut spec = ScenarioSpec::parse(line).expect("cliff spec parses");
+        spec.scale *= if fast() { 1 } else { 8 } * scale();
+        let g = generate(&spec);
+        let (deps, inst) = g.parts().expect("generated scenario parses");
+        let cfg = ChaseConfig::default();
+        let mut cells = vec![name.to_string(), String::new()];
+        for (mode_name, mode) in all_modes() {
+            let t0 = Instant::now();
+            let rendered = grom::scenarios::chase_mode(&deps, inst.clone(), mode, &cfg)
+                .expect("cliff scenario chases cleanly");
+            let elapsed = t0.elapsed();
+            let tuples = rendered.lines().count() as u64;
+            let record_name = match mode {
+                SchedulerMode::Parallel { threads } => {
+                    format!("e10/{name}/threads={threads}")
+                }
+                _ => format!("e10/{name}/{mode_name}"),
+            };
+            record(record_name, ms_f(elapsed), tuples);
+            cells[1] = tuples.to_string();
+            cells.push(ms(elapsed));
+        }
+        t.row(cells);
+    }
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -565,6 +627,7 @@ fn main() {
         ("e7d", e7d),
         ("e8", e8),
         ("e9", e9),
+        ("e10", e10),
     ];
     for (name, f) in experiments {
         if want(name) {

@@ -8,6 +8,7 @@
 //!               [--core] [--no-validate] [--quiet] [--threads N]
 //! grom validate <scenario.grom> <source.facts> <target.facts>
 //!                                                    check an existing solution
+//! grom corpus   <gen|record|verify|fuzz|list> ...    conformance-corpus tooling
 //! ```
 //!
 //! Scenario files use the language documented in `grom_lang::parser`; data
@@ -23,7 +24,12 @@ fn usage() -> ExitCode {
         "usage:\n  grom rewrite  <scenario.grom>\n  grom analyze  <scenario.grom>\n  \
          grom run      <scenario.grom> [data.facts] [--core] [--no-validate] [--quiet] \
          [--threads N]\n  \
-         grom validate <scenario.grom> <source.facts> <target.facts>"
+         grom validate <scenario.grom> <source.facts> <target.facts>\n  \
+         grom corpus   gen    --name <entry> --spec \"<spec>\" [--dir corpus]\n  \
+         grom corpus   record [--dir corpus] [entry...]\n  \
+         grom corpus   verify [--dir corpus] [--summary-md <file>] [entry...]\n  \
+         grom corpus   fuzz   [--budget N] [--seed S] [--max-scale K] [--out <dir>]\n  \
+         grom corpus   list   [--dir corpus]"
     );
     ExitCode::from(2)
 }
@@ -199,6 +205,330 @@ fn cmd_validate(scenario_path: &str, source_path: &str, target_path: &str) -> Ex
     }
 }
 
+// --------------------------------------------------------------- corpus --
+
+mod corpus_cli {
+    use super::fail;
+    use grom::chase::ChaseConfig;
+    use grom::scenarios::{
+        all_modes, fuzz, list_entries, read_entry, verify_entry, write_entry, CorpusEntry,
+        EntryReport, ScenarioSpec,
+    };
+    use std::path::{Path, PathBuf};
+    use std::process::ExitCode;
+
+    /// Flags shared by the corpus subcommands: `--key value` pairs plus
+    /// positional entry names.
+    struct Flags {
+        dir: PathBuf,
+        names: Vec<String>,
+        spec: Option<String>,
+        name: Option<String>,
+        summary_md: Option<PathBuf>,
+        budget: usize,
+        seed: u64,
+        max_scale: usize,
+        out: Option<PathBuf>,
+        force: bool,
+    }
+
+    fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags {
+            dir: PathBuf::from("corpus"),
+            names: Vec::new(),
+            spec: None,
+            name: None,
+            summary_md: None,
+            budget: 64,
+            seed: 1,
+            max_scale: 2,
+            out: None,
+            force: false,
+        };
+        let mut args = rest.iter();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--dir" => flags.dir = PathBuf::from(value("--dir")?),
+                "--spec" => flags.spec = Some(value("--spec")?),
+                "--name" => flags.name = Some(value("--name")?),
+                "--summary-md" => flags.summary_md = Some(PathBuf::from(value("--summary-md")?)),
+                "--budget" => {
+                    flags.budget = value("--budget")?
+                        .parse()
+                        .map_err(|_| "--budget requires an integer".to_string())?
+                }
+                "--seed" => {
+                    flags.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed requires an integer".to_string())?
+                }
+                "--max-scale" => {
+                    flags.max_scale = value("--max-scale")?
+                        .parse()
+                        .map_err(|_| "--max-scale requires a positive integer".to_string())?
+                }
+                "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
+                "--force" => flags.force = true,
+                flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+                name => flags.names.push(name.to_string()),
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Resolve the entries to operate on: explicit names, or all of them.
+    fn select_entries(dir: &Path, names: &[String]) -> Result<Vec<CorpusEntry>, String> {
+        let paths: Vec<PathBuf> = if names.is_empty() {
+            list_entries(dir).map_err(|e| e.to_string())?
+        } else {
+            names.iter().map(|n| dir.join(n)).collect()
+        };
+        if paths.is_empty() {
+            return Err(format!("no corpus entries under `{}`", dir.display()));
+        }
+        paths
+            .iter()
+            .map(|p| read_entry(p).map_err(|e| e.to_string()))
+            .collect()
+    }
+
+    fn cmd_gen(flags: Flags) -> ExitCode {
+        let (Some(name), Some(spec_line)) = (&flags.name, &flags.spec) else {
+            return fail("corpus gen needs --name and --spec");
+        };
+        let spec = match ScenarioSpec::parse(spec_line) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        };
+        if flags.dir.join(name).exists() && !flags.force {
+            return fail(format!(
+                "entry `{name}` already exists (use --force to overwrite)"
+            ));
+        }
+        let mut entry = CorpusEntry::from_spec(name.clone(), &spec);
+        if let Err(e) = entry.record(&ChaseConfig::default()) {
+            return fail(e);
+        }
+        match write_entry(&flags.dir, &entry) {
+            Ok(path) => {
+                println!(
+                    "wrote {} ({} expected lines)",
+                    path.display(),
+                    entry.expected.as_deref().map_or(0, |e| e.lines().count())
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        }
+    }
+
+    fn cmd_record(flags: Flags) -> ExitCode {
+        let entries = match select_entries(&flags.dir, &flags.names) {
+            Ok(e) => e,
+            Err(e) => return fail(e),
+        };
+        let cfg = ChaseConfig::default();
+        for mut entry in entries {
+            if let Err(e) = entry.record(&cfg) {
+                return fail(e);
+            }
+            match write_entry(&flags.dir, &entry) {
+                Ok(path) => println!("recorded {}", path.display()),
+                Err(e) => return fail(e),
+            }
+        }
+        ExitCode::SUCCESS
+    }
+
+    fn render_summary_md(reports: &[EntryReport]) -> String {
+        let modes: Vec<&str> = all_modes().iter().map(|(n, _)| *n).collect();
+        let mut out = String::from("### Corpus conformance\n\n");
+        out.push_str(&format!("| entry | regen | {} |\n", modes.join(" | ")));
+        out.push_str(&format!("|---|---|{}\n", "---|".repeat(modes.len())));
+        for r in reports {
+            let regen = match r.regen_ok {
+                Some(true) => "ok",
+                Some(false) => "MISMATCH",
+                None => "n/a",
+            };
+            let cells: Vec<String> = r
+                .modes
+                .iter()
+                .map(|m| {
+                    if m.ok {
+                        format!("{:.1} ms", m.wall_ms)
+                    } else {
+                        "FAIL".to_string()
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "| {} | {} | {} |\n",
+                r.name,
+                regen,
+                cells.join(" | ")
+            ));
+        }
+        out.push_str("\n**Per-mode totals:** ");
+        let totals: Vec<String> = modes
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let total: f64 = reports.iter().map(|r| r.modes[i].wall_ms).sum();
+                format!("{name} {total:.1} ms")
+            })
+            .collect();
+        out.push_str(&totals.join(", "));
+        out.push('\n');
+        out
+    }
+
+    fn cmd_verify(flags: Flags) -> ExitCode {
+        let entries = match select_entries(&flags.dir, &flags.names) {
+            Ok(e) => e,
+            Err(e) => return fail(e),
+        };
+        let cfg = ChaseConfig::default();
+        let modes = all_modes();
+        let mut reports = Vec::new();
+        let mut failures = 0usize;
+        for entry in &entries {
+            let report = match verify_entry(entry, &modes, &cfg) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            };
+            let status = if report.ok() { "ok" } else { "FAIL" };
+            let timing: Vec<String> = report
+                .modes
+                .iter()
+                .map(|m| format!("{}={:.1}ms", m.mode, m.wall_ms))
+                .collect();
+            println!("{:<28} {:<4} {}", report.name, status, timing.join(" "));
+            if report.regen_ok == Some(false) {
+                println!("    regeneration from spec is not byte-identical");
+            }
+            for m in report.modes.iter().filter(|m| !m.ok) {
+                println!(
+                    "    {}: {}",
+                    m.mode,
+                    m.detail.as_deref().unwrap_or("failed")
+                );
+            }
+            if !report.ok() {
+                failures += 1;
+            }
+            reports.push(report);
+        }
+        let md = render_summary_md(&reports);
+        if let Some(path) = &flags.summary_md {
+            if let Err(e) = std::fs::write(path, &md) {
+                return fail(format!("cannot write `{}`: {e}", path.display()));
+            }
+        }
+        println!(
+            "{} entries verified, {} failing, {} modes each",
+            reports.len(),
+            failures,
+            modes.len()
+        );
+        if failures > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+
+    fn cmd_fuzz(flags: Flags) -> ExitCode {
+        let out_dir = flags
+            .out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("fuzz-findings"));
+        let cfg = ChaseConfig::default();
+        println!(
+            "fuzzing {} scenarios (seed {}, max scale {}) -> {}",
+            flags.budget,
+            flags.seed,
+            flags.max_scale,
+            out_dir.display()
+        );
+        let outcome = match fuzz(
+            flags.budget,
+            flags.seed,
+            flags.max_scale,
+            &out_dir,
+            &cfg,
+            |i, spec| {
+                if i % 16 == 0 {
+                    println!("  [{i}] {spec}");
+                }
+            },
+        ) {
+            Ok(o) => o,
+            Err(e) => return fail(e),
+        };
+        println!(
+            "tried {} scenarios, {} divergences",
+            outcome.tried,
+            outcome.findings.len()
+        );
+        for f in &outcome.findings {
+            println!(
+                "  {}: {} (from {} deps/{} tuples to {} deps/{} tuples)\n    spec: {}",
+                f.entry_dir.display(),
+                f.detail,
+                f.before.0,
+                f.before.1,
+                f.after.0,
+                f.after.1,
+                f.spec
+            );
+        }
+        if outcome.findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+
+    fn cmd_list(flags: Flags) -> ExitCode {
+        let entries = match select_entries(&flags.dir, &flags.names) {
+            Ok(e) => e,
+            Err(e) => return fail(e),
+        };
+        for entry in &entries {
+            let origin = match &entry.provenance {
+                grom::scenarios::Provenance::Generated(spec) => format!("spec: {spec}"),
+                grom::scenarios::Provenance::Minimized { origin } => {
+                    format!("minimized-from: {origin}")
+                }
+            };
+            println!("{:<28} {}", entry.name, origin);
+        }
+        ExitCode::SUCCESS
+    }
+
+    pub fn cmd_corpus(rest: &[String]) -> Option<ExitCode> {
+        let (sub, rest) = rest.split_first()?;
+        let flags = match parse_flags(rest) {
+            Ok(f) => f,
+            Err(e) => return Some(fail(e)),
+        };
+        match sub.as_str() {
+            "gen" => Some(cmd_gen(flags)),
+            "record" => Some(cmd_record(flags)),
+            "verify" => Some(cmd_verify(flags)),
+            "fuzz" => Some(cmd_fuzz(flags)),
+            "list" => Some(cmd_list(flags)),
+            _ => None,
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -207,6 +537,7 @@ fn main() -> ExitCode {
             ("analyze", [path]) => cmd_analyze(path),
             ("run", [path, rest @ ..]) => cmd_run(path, rest),
             ("validate", [sc, src, tgt]) => cmd_validate(sc, src, tgt),
+            ("corpus", rest) => corpus_cli::cmd_corpus(rest).unwrap_or_else(usage),
             _ => usage(),
         },
         None => usage(),

@@ -73,3 +73,4 @@ pub use grom_engine as engine;
 pub use grom_exec as exec;
 pub use grom_lang as lang;
 pub use grom_rewrite as rewrite;
+pub use grom_scenarios as scenarios;

@@ -1,0 +1,206 @@
+//! Greedy scenario minimization.
+//!
+//! The vendored proptest shim has no shrinking, so a failing generated
+//! scenario would land in the corpus at full size without help. The
+//! minimizer here is the missing shrink pass: given a failing
+//! `(dependencies, instance)` pair and an oracle that decides whether a
+//! candidate still fails, it greedily drops dependencies and source tuples
+//! one at a time, looping until a fixed point — a scenario from which no
+//! single dependency or tuple can be removed without losing the failure.
+//!
+//! Greedy single-element elimination is not globally minimal (that would
+//! need delta debugging), but it converges fast, is deterministic, and in
+//! practice shrinks generated divergences to a handful of lines — small
+//! enough to read and to commit as a regression entry.
+
+use grom_data::{Fact, Instance};
+use grom_lang::Dependency;
+
+/// Result of a [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct MinimizeReport {
+    pub deps: Vec<Dependency>,
+    pub instance: Instance,
+    /// Number of oracle invocations spent.
+    pub oracle_calls: usize,
+    /// Number of full elimination passes until the fixed point.
+    pub passes: usize,
+    /// False when the run stopped on the oracle-call budget (the result
+    /// still fails, it just may not be 1-minimal) or when the input did
+    /// not fail at all (returned unchanged).
+    pub converged: bool,
+}
+
+/// Greedily minimize a failing scenario. `oracle` must return `true` while
+/// the candidate still exhibits the failure; the returned pair always
+/// satisfies the oracle unless the input itself did not. `max_oracle_calls`
+/// bounds the work (each candidate costs one call — typically a few chase
+/// runs).
+pub fn minimize<F>(
+    deps: Vec<Dependency>,
+    instance: Instance,
+    max_oracle_calls: usize,
+    oracle: F,
+) -> MinimizeReport
+where
+    F: Fn(&[Dependency], &Instance) -> bool,
+{
+    let mut calls = 0usize;
+    let check = |d: &[Dependency], i: &Instance, calls: &mut usize| {
+        *calls += 1;
+        oracle(d, i)
+    };
+    if !check(&deps, &instance, &mut calls) {
+        return MinimizeReport {
+            deps,
+            instance,
+            oracle_calls: calls,
+            passes: 0,
+            converged: false,
+        };
+    }
+
+    let mut deps = deps;
+    let mut facts: Vec<Fact> = instance.facts().collect();
+    let mut passes = 0usize;
+    let budget_left = |calls: usize| calls < max_oracle_calls;
+    loop {
+        passes += 1;
+        let mut changed = false;
+        // Dependencies first: dropping one usually removes whole relations
+        // from play, making the tuple pass cheaper.
+        let mut i = 0;
+        while i < deps.len() {
+            if !budget_left(calls) {
+                return finish(deps, facts, calls, passes, false);
+            }
+            let mut candidate = deps.clone();
+            candidate.remove(i);
+            let inst = rebuild(&facts);
+            if check(&candidate, &inst, &mut calls) {
+                deps = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut j = 0;
+        while j < facts.len() {
+            if !budget_left(calls) {
+                return finish(deps, facts, calls, passes, false);
+            }
+            let mut candidate = facts.clone();
+            candidate.remove(j);
+            let inst = rebuild(&candidate);
+            if check(&deps, &inst, &mut calls) {
+                facts = candidate;
+                changed = true;
+            } else {
+                j += 1;
+            }
+        }
+        if !changed {
+            return finish(deps, facts, calls, passes, true);
+        }
+    }
+}
+
+fn rebuild(facts: &[Fact]) -> Instance {
+    // A subset of a well-formed fact list keeps arities consistent.
+    Instance::from_facts(facts.iter().cloned()).expect("fact subset stays well-formed")
+}
+
+fn finish(
+    deps: Vec<Dependency>,
+    facts: Vec<Fact>,
+    oracle_calls: usize,
+    passes: usize,
+    converged: bool,
+) -> MinimizeReport {
+    MinimizeReport {
+        instance: rebuild(&facts),
+        deps,
+        oracle_calls,
+        passes,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grom_data::Value;
+    use grom_lang::parser::parse_dependency;
+
+    fn dep(text: &str) -> Dependency {
+        parse_dependency(text).unwrap()
+    }
+
+    fn synthetic_inputs() -> (Vec<Dependency>, Instance) {
+        let deps = vec![
+            dep("tgd a: R0(x, y) -> R1(x, y)."),
+            dep("tgd bad: R1(x, y) -> R2(x, y)."),
+            dep("egd c: R2(x, y), R2(x, z) -> y = z."),
+            dep("tgd d: R2(x, y) -> R0(y, x)."),
+        ];
+        let mut inst = Instance::new();
+        for k in 0..4i64 {
+            inst.add("R0", vec![Value::int(k), Value::int(k + 1)])
+                .unwrap();
+            inst.add("R1", vec![Value::int(k), Value::int(0)]).unwrap();
+        }
+        (deps, inst)
+    }
+
+    /// A synthetic "divergence": present exactly when the dependency named
+    /// `bad` and the source fact `R0(0, 1)` are both in the scenario.
+    fn oracle(deps: &[Dependency], inst: &Instance) -> bool {
+        deps.iter().any(|d| d.name.as_ref() == "bad")
+            && inst.contains_fact(
+                "R0",
+                &grom_data::Tuple::new(vec![Value::int(0), Value::int(1)]),
+            )
+    }
+
+    #[test]
+    fn known_divergent_scenario_minimizes_to_its_core() {
+        let (deps, inst) = synthetic_inputs();
+        let report = minimize(deps, inst, 10_000, oracle);
+        assert!(report.converged);
+        assert_eq!(report.deps.len(), 1, "only the culprit dependency remains");
+        assert_eq!(report.deps[0].name.as_ref(), "bad");
+        assert_eq!(report.instance.len(), 1, "only the culprit tuple remains");
+        assert!(oracle(&report.deps, &report.instance));
+    }
+
+    #[test]
+    fn minimization_reaches_a_stable_fixed_point() {
+        let (deps, inst) = synthetic_inputs();
+        let first = minimize(deps, inst, 10_000, oracle);
+        let second = minimize(first.deps.clone(), first.instance.clone(), 10_000, oracle);
+        assert!(second.converged);
+        // Re-minimizing a minimal scenario changes nothing and needs only
+        // the single no-progress pass.
+        assert_eq!(second.passes, 1);
+        assert_eq!(second.deps.len(), first.deps.len());
+        assert_eq!(second.instance.len(), first.instance.len());
+    }
+
+    #[test]
+    fn non_failing_input_returns_unchanged() {
+        let (deps, inst) = synthetic_inputs();
+        let report = minimize(deps.clone(), inst.clone(), 10_000, |_, _| false);
+        assert!(!report.converged);
+        assert_eq!(report.passes, 0);
+        assert_eq!(report.deps.len(), deps.len());
+        assert_eq!(report.instance.len(), inst.len());
+    }
+
+    #[test]
+    fn budget_exhaustion_still_returns_a_failing_scenario() {
+        let (deps, inst) = synthetic_inputs();
+        let report = minimize(deps, inst, 3, oracle);
+        assert!(!report.converged);
+        assert!(oracle(&report.deps, &report.instance));
+    }
+}

@@ -1,0 +1,239 @@
+//! Scenario specifications: the reproducible `(primitive mix, seed, scale)`
+//! triple every generated scenario is rebuilt from.
+//!
+//! A spec serializes to a single line,
+//!
+//! ```text
+//! mix=copy:1,vpart:2,er:1 depth=3 egd=0.50 seed=17 scale=2
+//! ```
+//!
+//! and [`ScenarioSpec::parse`] inverts the `Display` rendering exactly,
+//! so the line committed in a corpus entry's `spec.gen` is everything needed
+//! to regenerate the entry byte for byte.
+
+use std::fmt;
+
+/// How many instances of each mapping primitive the scenario composes.
+///
+/// The primitives are the iBench-style building blocks of the paper's
+/// benchmark methodology:
+///
+/// * `copy` — a copy chain `S → T_1 → … → T_depth`, declared in reverse
+///   order (the delta-scheduling stressor);
+/// * `fusion` — a self-join `S(x,y), S(y,z) → T(x,z)`;
+/// * `vpart` — a vertical partition inventing a join key
+///   (`S(id,a,b) → K(id,k), A(k,a), B(k,b)` with existential `k` plus the
+///   key egd on `K`) — the labeled-null factory;
+/// * `denorm` — a denormalizing join of two source tables into one target;
+/// * `er` — an entity-resolution egd chain: invented representatives merged
+///   along same-links, spread over several egds (the egd-cascade cliff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mix {
+    pub copy: usize,
+    pub fusion: usize,
+    pub vpart: usize,
+    pub denorm: usize,
+    pub er: usize,
+}
+
+impl Mix {
+    /// Total number of primitive instances in the mix.
+    pub fn total(&self) -> usize {
+        self.copy + self.fusion + self.vpart + self.denorm + self.er
+    }
+
+    fn parts(&self) -> [(&'static str, usize); 5] {
+        [
+            ("copy", self.copy),
+            ("fusion", self.fusion),
+            ("vpart", self.vpart),
+            ("denorm", self.denorm),
+            ("er", self.er),
+        ]
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, count) in self.parts() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{name}:{count}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A complete, self-describing scenario specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    pub mix: Mix,
+    /// Chain length of the depth-bearing primitives (copy chains, er
+    /// cluster size); the weak-acyclicity depth knob. At least 1.
+    pub depth: usize,
+    /// Egd density in `[0, 1]`: the probability of the optional key egds
+    /// and the width of the er egd fan-out.
+    pub egd_density: f64,
+    /// RNG seed; every random draw of the generator derives from it.
+    pub seed: u64,
+    /// Instance-size multiplier. At least 1.
+    pub scale: usize,
+}
+
+/// Errors raised by [`ScenarioSpec::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad scenario spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mix={} depth={} egd={:.2} seed={} scale={}",
+            self.mix, self.depth, self.egd_density, self.seed, self.scale
+        )
+    }
+}
+
+impl ScenarioSpec {
+    /// Parse the one-line spec format produced by `Display`.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let mut mix = Mix::default();
+        let mut saw_mix = false;
+        let mut depth = 1usize;
+        let mut egd_density = 0.0f64;
+        let mut seed = 0u64;
+        let mut scale = 1usize;
+        for token in text.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| SpecError(format!("expected key=value, got `{token}`")))?;
+            match key {
+                "mix" => {
+                    saw_mix = true;
+                    for part in value.split(',').filter(|p| !p.is_empty()) {
+                        let (name, count) = part
+                            .split_once(':')
+                            .ok_or_else(|| SpecError(format!("expected name:count in `{part}`")))?;
+                        let count: usize = count
+                            .parse()
+                            .map_err(|_| SpecError(format!("bad count in `{part}`")))?;
+                        match name {
+                            "copy" => mix.copy = count,
+                            "fusion" => mix.fusion = count,
+                            "vpart" => mix.vpart = count,
+                            "denorm" => mix.denorm = count,
+                            "er" => mix.er = count,
+                            _ => return Err(SpecError(format!("unknown primitive `{name}`"))),
+                        }
+                    }
+                }
+                "depth" => {
+                    depth = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad depth `{value}`")))?
+                }
+                "egd" => {
+                    egd_density = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad egd density `{value}`")))?
+                }
+                "seed" => {
+                    seed = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad seed `{value}`")))?
+                }
+                "scale" => {
+                    scale = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad scale `{value}`")))?
+                }
+                _ => return Err(SpecError(format!("unknown key `{key}`"))),
+            }
+        }
+        if !saw_mix {
+            return Err(SpecError("missing `mix=`".into()));
+        }
+        let spec = ScenarioSpec {
+            mix,
+            depth,
+            egd_density,
+            seed,
+            scale,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Reject degenerate specs the generator cannot honor.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.mix.total() == 0 {
+            return Err(SpecError("empty primitive mix".into()));
+        }
+        if self.depth == 0 {
+            return Err(SpecError("depth must be at least 1".into()));
+        }
+        if self.scale == 0 {
+            return Err(SpecError("scale must be at least 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.egd_density) {
+            return Err(SpecError(format!(
+                "egd density {} outside [0, 1]",
+                self.egd_density
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        let spec = ScenarioSpec {
+            mix: Mix {
+                copy: 1,
+                fusion: 0,
+                vpart: 2,
+                denorm: 0,
+                er: 1,
+            },
+            depth: 3,
+            egd_density: 0.5,
+            seed: 17,
+            scale: 2,
+        };
+        let line = spec.to_string();
+        assert_eq!(
+            line,
+            "mix=copy:1,vpart:2,er:1 depth=3 egd=0.50 seed=17 scale=2"
+        );
+        assert_eq!(ScenarioSpec::parse(&line).unwrap(), spec);
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        assert!(ScenarioSpec::parse("mix= depth=1 egd=0 seed=0 scale=1").is_err());
+        assert!(ScenarioSpec::parse("mix=copy:1 depth=0 egd=0 seed=0 scale=1").is_err());
+        assert!(ScenarioSpec::parse("mix=copy:1 depth=1 egd=2.0 seed=0 scale=1").is_err());
+        assert!(ScenarioSpec::parse("mix=copy:1 depth=1 egd=0 seed=0 scale=0").is_err());
+        assert!(ScenarioSpec::parse("mix=warp:1 depth=1 egd=0 seed=0 scale=1").is_err());
+        assert!(ScenarioSpec::parse("depth=1").is_err());
+        assert!(ScenarioSpec::parse("nonsense").is_err());
+    }
+}

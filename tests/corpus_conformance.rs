@@ -1,0 +1,70 @@
+//! Tier-1 gate over the committed conformance corpus (`corpus/`).
+//!
+//! Every entry must (a) regenerate byte-identically from its recorded spec
+//! line (minimized entries excepted) and (b) chase to its committed
+//! `expected.txt` rendering under all four scheduler modes. This is the
+//! in-tree twin of the CI `corpus-conformance` job — `cargo test` alone
+//! catches a scheduler regression or a stale corpus.
+
+use std::path::PathBuf;
+
+use grom::chase::ChaseConfig;
+use grom::scenarios::{all_modes, list_entries, read_entry, verify_entry, Provenance};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn corpus_has_the_promised_coverage() {
+    let entries = list_entries(&corpus_dir()).expect("corpus/ readable");
+    assert!(
+        entries.len() >= 20,
+        "corpus shrank to {} entries; keep at least 20",
+        entries.len()
+    );
+}
+
+#[test]
+fn every_entry_verifies_in_every_mode() {
+    let cfg = ChaseConfig::default();
+    let modes = all_modes();
+    let mut failures = Vec::new();
+    for path in list_entries(&corpus_dir()).expect("corpus/ readable") {
+        let entry = read_entry(&path).expect("entry parses");
+        let report = verify_entry(&entry, &modes, &cfg).expect("entry verifiable");
+        if !report.ok() {
+            failures.push(format!("{report:?}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus conformance failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn spec_born_entries_regenerate_byte_identically() {
+    // verify_entry already folds this into ok(), but assert it separately
+    // so a determinism break is named as such, not as a generic failure.
+    let mut spec_born = 0usize;
+    for path in list_entries(&corpus_dir()).expect("corpus/ readable") {
+        let entry = read_entry(&path).expect("entry parses");
+        if let Provenance::Generated(spec) = &entry.provenance {
+            let g = grom::scenarios::generate(spec);
+            assert_eq!(
+                g.program, entry.program,
+                "entry `{}`: program drifted from its spec `{spec}`",
+                entry.name
+            );
+            assert_eq!(
+                g.source, entry.source,
+                "entry `{}`: source drifted from its spec `{spec}`",
+                entry.name
+            );
+            spec_born += 1;
+        }
+    }
+    assert!(spec_born >= 20, "expected ≥20 spec-born entries");
+}

@@ -207,6 +207,27 @@ proptest! {
         }
     }
 
+    /// Generator-backed soundness: every scenario the `grom-scenarios`
+    /// composer emits chases successfully under the default config, and
+    /// the solution satisfies all of its dependencies — including the
+    /// egd cascades whose merges the local grammar above rarely builds.
+    #[test]
+    fn generated_scenarios_chase_to_genuine_solutions(
+        spec_seed in any::<u64>(),
+    ) {
+        let spec = grom::scenarios::random_spec(spec_seed, 2);
+        let g = grom::scenarios::generate(&spec);
+        let (deps, inst) = g.parts().expect("generated scenario parses");
+        let res = chase_standard(inst, &deps, &ChaseConfig::default())
+            .expect("generated scenarios chase cleanly by construction");
+        for dep in &deps {
+            prop_assert!(
+                dependency_satisfied(&res.instance, dep),
+                "dep {} violated on spec `{}`", dep.name, spec
+            );
+        }
+    }
+
     #[test]
     fn chase_stats_are_consistent(
         tgds in prop::collection::vec(arb_tgd(), 1..4),

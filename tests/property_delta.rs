@@ -317,6 +317,31 @@ proptest! {
         }
     }
 
+    /// Generator-backed equivalence: scenarios from the `grom-scenarios`
+    /// primitive composer (copy chains, fusions, vertical partitions,
+    /// denormalizations, entity-resolution egd cascades — far richer
+    /// structure than the local random-tgd grammar above) must chase to
+    /// the same canonical rendering under every scheduler mode. One u64
+    /// is the whole strategy: `random_spec` fans it out into a valid
+    /// spec, so the vendored shim's 6-tuple limit never binds.
+    #[test]
+    fn generated_scenarios_agree_across_all_scheduler_modes(
+        spec_seed in any::<u64>(),
+    ) {
+        let spec = grom::scenarios::random_spec(spec_seed, 2);
+        let g = grom::scenarios::generate(&spec);
+        let (deps, inst) = g.parts().expect("generated scenario parses");
+        prop_assert!(
+            grom::chase::is_weakly_acyclic(&deps).weakly_acyclic,
+            "generator must stay in the weakly acyclic fragment: {spec}"
+        );
+        let divergence = grom::scenarios::divergence(&deps, &inst, &ChaseConfig::default());
+        prop_assert!(
+            divergence.is_none(),
+            "spec `{}` diverges: {}", spec, divergence.unwrap()
+        );
+    }
+
     /// The delta scheduler respects the round budget exactly like the
     /// classical loop on non-terminating programs.
     #[test]
