@@ -1,0 +1,81 @@
+//! E11 — the interned, hash-indexed tuple store on string-keyed composite
+//! joins ([`grom_bench::storage_scaling_workload`]).
+//!
+//! The workload chains two joins whose probe columns carry long,
+//! shared-prefix string keys. The `plain` variant chases the instance as
+//! parsed (string contents hashed and compared at every composite-index
+//! probe); the `interned` variant first passes the instance and the
+//! dependency constants through one `SymbolTable` — the pipeline's default
+//! — so every probe compares dense symbol ids. Both variants run the same
+//! delta scheduler over the same indexes and must produce canonically
+//! identical instances (checked on every tier before timing); the shape to
+//! reproduce is `interned` winning by a margin that grows with width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use grom::chase::chase_standard;
+use grom::data::{canonical_render, Instance, SymbolTable};
+use grom::intern_dependencies;
+use grom::lang::Dependency;
+use grom::prelude::*;
+use grom_bench::storage_scaling_workload;
+
+const KEYS: usize = 200;
+
+fn interned_parts(deps: &[Dependency], inst: &Instance) -> (Vec<Dependency>, Instance) {
+    let mut table = SymbolTable::new();
+    let interned = inst.intern_strings(&mut table);
+    (intern_dependencies(deps, &mut table), interned)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_storage_scaling");
+    group.sample_size(10);
+
+    for &width in &[4_000usize, 16_000] {
+        let (deps, inst) = storage_scaling_workload(width, KEYS);
+        let (ideps, iinst) = interned_parts(&deps, &inst);
+        let cfg = ChaseConfig::default().with_scheduler(SchedulerMode::Delta);
+
+        // Equivalence check before timing.
+        let plain = chase_standard(inst.clone(), &deps, &cfg).expect("plain chase succeeds");
+        let interned =
+            chase_standard(iinst.clone(), &ideps, &cfg).expect("interned chase succeeds");
+        assert_eq!(
+            canonical_render(&plain.instance),
+            canonical_render(&interned.instance.unintern_strings()),
+            "interned storage diverges at width {width}"
+        );
+
+        let tuples = plain.instance.len() as u64;
+        group.throughput(Throughput::Elements(tuples));
+        group.bench_with_input(
+            BenchmarkId::new("plain", width),
+            &(&deps, &inst),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    chase_standard((*inst).clone(), deps, &cfg)
+                        .expect("chase succeeds")
+                        .instance
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interned", width),
+            &(&ideps, &iinst),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    chase_standard((*inst).clone(), deps, &cfg)
+                        .expect("chase succeeds")
+                        .instance
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

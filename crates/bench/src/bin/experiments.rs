@@ -609,6 +609,65 @@ fn e10() -> Table {
     t
 }
 
+/// E11 — the interned, hash-indexed tuple store on string-keyed composite
+/// joins: chase the same workload with plain string values and with the
+/// pipeline's symbol-interning choke point applied first. Same delta
+/// scheduler, same join-key indexes; the only difference is whether probe
+/// comparisons walk string contents or dense symbol ids.
+fn e11() -> Table {
+    use grom::chase::chase_standard;
+    use grom::data::{canonical_render, SymbolTable};
+    let mut t = Table::new(
+        "E11: interned symbol storage vs plain strings (200 keys, composite joins)",
+        &[
+            "width",
+            "tuples",
+            "plain ms",
+            "interned ms",
+            "speedup",
+            "identical",
+        ],
+    );
+    let keys = 200;
+    for width in tiers(&[4_000usize, 16_000], &[2_000, 4_000]) {
+        let width = width * scale();
+        let (deps, inst) = storage_scaling_workload(width, keys);
+        let mut table = SymbolTable::new();
+        let iinst = inst.intern_strings(&mut table);
+        let ideps = grom::intern_dependencies(&deps, &mut table);
+        let cfg = ChaseConfig::default().with_scheduler(SchedulerMode::Delta);
+        let t0 = Instant::now();
+        let plain = chase_standard(inst, &deps, &cfg).expect("plain chase succeeds");
+        let plain_ms = t0.elapsed();
+        let t1 = Instant::now();
+        let interned = chase_standard(iinst, &ideps, &cfg).expect("interned chase succeeds");
+        let interned_ms = t1.elapsed();
+        let identical = canonical_render(&plain.instance)
+            == canonical_render(&interned.instance.unintern_strings());
+        assert!(identical, "interned storage diverges at width {width}");
+        record(
+            format!("e11/plain/width={width}"),
+            ms_f(plain_ms),
+            plain.instance.len() as u64,
+        );
+        record(
+            format!("e11/interned/width={width}"),
+            ms_f(interned_ms),
+            interned.instance.len() as u64,
+        );
+        let speedup = plain_ms.as_secs_f64() / interned_ms.as_secs_f64().max(1e-9);
+        t.row(vec![
+            width.to_string(),
+            plain.instance.len().to_string(),
+            ms(plain_ms),
+            ms(interned_ms),
+            format!("{speedup:.2}x"),
+            identical.to_string(),
+        ]);
+    }
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -628,6 +687,7 @@ fn main() {
         ("e8", e8),
         ("e9", e9),
         ("e10", e10),
+        ("e11", e11),
     ];
     for (name, f) in experiments {
         if want(name) {

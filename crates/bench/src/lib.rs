@@ -19,5 +19,5 @@ pub use workloads::{
     conjunctive_family, delta_scaling_workload, egd_scaling_workload,
     greedy_intricacy_attributable, greedy_intricacy_workload, negation_family,
     parallel_scaling_workload, restriction_pair, running_example_scenario, running_example_source,
-    universal_model_workload, RunningExampleConfig,
+    storage_scaling_workload, universal_model_workload, RunningExampleConfig,
 };

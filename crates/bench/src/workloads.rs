@@ -328,6 +328,68 @@ pub fn egd_scaling_workload(
     (prog.deps, inst)
 }
 
+/// E11: the storage-layer separation workload — string-keyed composite
+/// joins where the interned, hash-indexed tuple store earns its keep.
+///
+/// Two chained joins over long string keys:
+///
+/// ```text
+/// t0:  R(x, k, y), S(k, y, z)  ->  T(x, z)
+/// t1:  T(x, z), D(z, w)        ->  U(x, w)
+/// ```
+///
+/// `R` carries `width` rows whose second column is one of `keys` long,
+/// shared prefix strings (worst case for content hashing and equality);
+/// `S` joins on the **composite** `(k, y)` pair, so the static join-key
+/// analysis installs a two-column hash index, and every premise match
+/// probes it with a string component. Chasing the plain instance compares
+/// string contents at every probe; interning the instance and the
+/// dependencies first (`Instance::intern_strings` +
+/// `grom::intern_dependencies`) turns each comparison into a dense-id
+/// equality. Both runs must produce canonically identical instances.
+pub fn storage_scaling_workload(width: usize, keys: usize) -> (Vec<Dependency>, Instance) {
+    assert!(keys >= 1);
+    let text = "tgd t0: R(x, k, y), S(k, y, z) -> T(x, z).\n\
+                tgd t1: T(x, z), D(z, w) -> U(x, w).\n";
+    let prog = Program::parse(text).expect("generated storage-scaling workload parses");
+    // Long keys with a shared prefix: content comparison must walk the
+    // whole prefix before it can distinguish two keys. The carried id `x`
+    // is a (unique) string too, so the derived `T`/`U` tuples keep paying
+    // string hashing in the dedup maps unless the run is interned.
+    let key = |k: usize| format!("warehouse_partition_key_with_shared_prefix_{:06}", k % keys);
+    let id = |i: usize| format!("customer_record_identifier_with_shared_prefix_{i:08}");
+    let mut inst = Instance::new();
+    for i in 0..width {
+        inst.add(
+            "R",
+            vec![
+                Value::str(id(i)),
+                Value::str(key(i)),
+                Value::int((i % 7) as i64),
+            ],
+        )
+        .expect("fresh relation");
+    }
+    for k in 0..keys {
+        for m in 0..7i64 {
+            inst.add(
+                "S",
+                vec![
+                    Value::str(key(k)),
+                    Value::int(m),
+                    Value::int(k as i64 * 7 + m),
+                ],
+            )
+            .expect("fresh relation");
+        }
+    }
+    for z in 0..(keys as i64 * 7) {
+        inst.add("D", vec![Value::int(z), Value::int(z % 13)])
+            .expect("fresh relation");
+    }
+    (prog.deps, inst)
+}
+
 /// E6: the §4 reformulation exercise. Returns `(perverse, reformulated)`:
 /// the perverse scenario is the paper's running example (negation inside
 /// `PopularProduct` forces the ded `d0`); the reformulated one replaces the

@@ -63,7 +63,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use grom_data::{DeltaLog, Instance, NullGenerator, Tuple};
-use grom_lang::{Bindings, Dependency, Var};
+use grom_lang::{Bindings, Dependency};
 
 use grom_engine::{
     disjunct_satisfied, disjunct_satisfied_resolved, evaluate_body_from_delta, Control, Db,
@@ -234,17 +234,15 @@ pub(crate) fn delta_violations(
     stop_at_first: bool,
     stats: &mut ChaseStats,
 ) -> Vec<Bindings> {
-    let mut seen: BTreeSet<Vec<(Var, grom_data::Value)>> = BTreeSet::new();
+    let mut seen: BTreeSet<Bindings> = BTreeSet::new();
     let mut out = Vec::new();
     for (rel, tuples) in delta {
         stats.stale_delta_skipped += evaluate_body_from_delta(db, &dep.premise, rel, tuples, |b| {
-            if !dep.disjuncts.iter().any(|d| disjunct_satisfied(db, d, b)) {
-                let key: Vec<_> = b.iter().map(|(v, val)| (v.clone(), val.clone())).collect();
-                if seen.insert(key) {
-                    out.push(b.clone());
-                    if stop_at_first {
-                        return Control::Stop;
-                    }
+            if !dep.disjuncts.iter().any(|d| disjunct_satisfied(db, d, b)) && seen.insert(b.clone())
+            {
+                out.push(b.clone());
+                if stop_at_first {
+                    return Control::Stop;
                 }
             }
             Control::Continue

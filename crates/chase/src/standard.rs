@@ -178,6 +178,11 @@ pub fn chase_standard(
     deps: &[Dependency],
     config: &ChaseConfig,
 ) -> Result<ChaseResult, ChaseError> {
+    // Wire up the composite join-key indexes the static premise analysis
+    // predicts, before the first sweep touches the instance. Relations the
+    // chase has yet to create pick their keys up on first insert.
+    let mut start = start;
+    crate::trigger::register_join_keys(&mut start, deps);
     match config.scheduler {
         crate::config::SchedulerMode::Delta => {
             crate::scheduler::chase_standard_delta(start, deps, config)

@@ -56,9 +56,24 @@ fn load_scenario(path: &str) -> Result<(MappingScenario, Instance), String> {
     Ok((scenario, inline))
 }
 
+/// Render a data error against the file it came from: a `file:line:`
+/// prefix when the error carries line context (so terminals make it
+/// clickable), and the offending relation named in the message either way.
+fn describe_data_error(path: &str, e: &grom::data::GromError) -> String {
+    match e.line() {
+        // Syntax errors embed their own `line N:` prefix; print just the
+        // message so the line appears once, in the clickable position.
+        Some(line) => match e.unwrap_context() {
+            grom::data::GromError::Syntax { message, .. } => format!("{path}:{line}: {message}"),
+            inner => format!("{path}:{line}: {inner}"),
+        },
+        None => format!("{path}: {e}"),
+    }
+}
+
 fn load_facts(path: &str) -> Result<Instance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    grom::data::read_instance(&text).map_err(|e| format!("{path}: {e}"))
+    grom::data::read_instance(&text).map_err(|e| describe_data_error(path, &e))
 }
 
 fn cmd_rewrite(path: &str) -> ExitCode {
@@ -134,22 +149,20 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
         match load_facts(f) {
             Ok(extra) => {
                 if let Err(e) = source.absorb(&extra) {
-                    return fail(e);
+                    return fail(describe_data_error(f, &e));
                 }
             }
             Err(e) => return fail(e),
         }
     }
 
-    let mut options = PipelineOptions {
-        skip_validation: no_validate,
-        core_minimize: core,
-        ..Default::default()
-    };
+    let mut config = GromConfig::new()
+        .with_skip_validation(no_validate)
+        .with_core_minimize(core);
     if let Some(n) = threads {
-        options = options.with_threads(n);
+        config = config.with_threads(n);
     }
-    match scenario.run(&source, &options) {
+    match scenario.run_with(&source, &config) {
         Ok(result) => {
             print!("{}", result.target);
             if !quiet {
@@ -183,7 +196,7 @@ fn cmd_validate(scenario_path: &str, source_path: &str, target_path: &str) -> Ex
     match load_facts(source_path) {
         Ok(s) => {
             if let Err(e) = source.absorb(&s) {
-                return fail(e);
+                return fail(describe_data_error(source_path, &e));
             }
         }
         Err(e) => return fail(e),

@@ -1,0 +1,214 @@
+//! One flat, builder-style configuration for the whole pipeline.
+//!
+//! Historically callers assembled a [`ChaseConfig`] and wrapped it in
+//! [`PipelineOptions`], duplicating the chase knobs across two structs and
+//! two `with_threads` builders. [`GromConfig`] is the single front door:
+//! every knob lives here once, and [`MappingScenario::run_with`] consumes
+//! it directly. The two legacy structs remain as thin shims — existing
+//! examples and tests keep compiling — and [`GromConfig`] converts into
+//! either via [`From`].
+//!
+//! [`MappingScenario::run_with`]: crate::MappingScenario::run_with
+
+use grom_chase::{ChaseConfig, SchedulerMode};
+use grom_rewrite::RewriteOptions;
+
+use crate::pipeline::PipelineOptions;
+
+/// Every pipeline and chase knob, flattened into one builder.
+///
+/// ```
+/// use grom::{GromConfig, SchedulerMode};
+///
+/// let cfg = GromConfig::new()
+///     .with_threads(4)
+///     .with_max_rounds(500)
+///     .with_core_minimize(true);
+/// assert_eq!(cfg.scheduler, SchedulerMode::Parallel { threads: 4 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct GromConfig {
+    /// Maximum number of chase rounds (see [`ChaseConfig::max_rounds`]).
+    pub max_rounds: usize,
+    /// Maximum standard scenarios the greedy ded chase tries.
+    pub max_scenarios: usize,
+    /// Maximum tree nodes the exhaustive ded chase expands.
+    pub max_nodes: usize,
+    /// Maximum chase steps in one branch of the exhaustive chase.
+    pub max_steps_per_branch: usize,
+    /// Premise scheduling strategy (sequential delta, full rescan, or the
+    /// parallel executor).
+    pub scheduler: SchedulerMode,
+    /// Options for the view-unfolding rewriter.
+    pub rewrite: RewriteOptions,
+    /// Skip the post-hoc soundness validation.
+    pub skip_validation: bool,
+    /// Skip type-checking the source instance against the source schema.
+    pub skip_typecheck: bool,
+    /// Core-minimize the chased target (Fagin–Kolaitis–Popa).
+    pub core_minimize: bool,
+    /// Intern string constants through one symbol table before the chase
+    /// (on by default; see [`PipelineOptions::interning`]).
+    pub interning: bool,
+}
+
+impl Default for GromConfig {
+    fn default() -> Self {
+        let chase = ChaseConfig::default();
+        let pipeline = PipelineOptions::default();
+        Self {
+            max_rounds: chase.max_rounds,
+            max_scenarios: chase.max_scenarios,
+            max_nodes: chase.max_nodes,
+            max_steps_per_branch: chase.max_steps_per_branch,
+            scheduler: chase.scheduler,
+            rewrite: pipeline.rewrite,
+            skip_validation: pipeline.skip_validation,
+            skip_typecheck: pipeline.skip_typecheck,
+            core_minimize: pipeline.core_minimize,
+            interning: pipeline.interning,
+        }
+    }
+}
+
+impl GromConfig {
+    /// The default configuration (same as [`GromConfig::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run the chase on `threads` workers; `threads <= 1` selects the
+    /// sequential delta scheduler.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_scheduler(SchedulerMode::with_threads(threads))
+    }
+
+    /// Select the premise scheduling strategy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Cap the number of chase rounds.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Cap the number of greedy ded-chase scenarios.
+    pub fn with_max_scenarios(mut self, max_scenarios: usize) -> Self {
+        self.max_scenarios = max_scenarios;
+        self
+    }
+
+    /// Cap the number of exhaustive ded-chase nodes.
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Override the rewriter options.
+    pub fn with_rewrite(mut self, rewrite: RewriteOptions) -> Self {
+        self.rewrite = rewrite;
+        self
+    }
+
+    /// Skip (or re-enable) the post-hoc soundness validation.
+    pub fn with_skip_validation(mut self, skip: bool) -> Self {
+        self.skip_validation = skip;
+        self
+    }
+
+    /// Skip (or re-enable) source type-checking.
+    pub fn with_skip_typecheck(mut self, skip: bool) -> Self {
+        self.skip_typecheck = skip;
+        self
+    }
+
+    /// Core-minimize the chased target.
+    pub fn with_core_minimize(mut self, core_minimize: bool) -> Self {
+        self.core_minimize = core_minimize;
+        self
+    }
+
+    /// Enable or disable symbol interning for the chase.
+    pub fn with_interning(mut self, interning: bool) -> Self {
+        self.interning = interning;
+        self
+    }
+}
+
+impl From<&GromConfig> for ChaseConfig {
+    fn from(cfg: &GromConfig) -> Self {
+        ChaseConfig {
+            max_rounds: cfg.max_rounds,
+            max_scenarios: cfg.max_scenarios,
+            max_nodes: cfg.max_nodes,
+            max_steps_per_branch: cfg.max_steps_per_branch,
+            scheduler: cfg.scheduler,
+        }
+    }
+}
+
+impl From<GromConfig> for ChaseConfig {
+    fn from(cfg: GromConfig) -> Self {
+        Self::from(&cfg)
+    }
+}
+
+impl From<&GromConfig> for PipelineOptions {
+    fn from(cfg: &GromConfig) -> Self {
+        PipelineOptions {
+            rewrite: cfg.rewrite.clone(),
+            chase: cfg.into(),
+            skip_validation: cfg.skip_validation,
+            skip_typecheck: cfg.skip_typecheck,
+            core_minimize: cfg.core_minimize,
+            interning: cfg.interning,
+        }
+    }
+}
+
+impl From<GromConfig> for PipelineOptions {
+    fn from(cfg: GromConfig) -> Self {
+        Self::from(&cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_flatten_into_both_legacy_structs() {
+        let cfg = GromConfig::new()
+            .with_threads(4)
+            .with_max_rounds(77)
+            .with_core_minimize(true)
+            .with_interning(false)
+            .with_skip_validation(true);
+        let chase: ChaseConfig = (&cfg).into();
+        assert_eq!(chase.max_rounds, 77);
+        assert_eq!(chase.scheduler, SchedulerMode::Parallel { threads: 4 });
+        let pipeline: PipelineOptions = cfg.into();
+        assert_eq!(pipeline.chase.max_rounds, 77);
+        assert!(pipeline.core_minimize);
+        assert!(!pipeline.interning);
+        assert!(pipeline.skip_validation);
+        assert!(!pipeline.skip_typecheck);
+    }
+
+    #[test]
+    fn defaults_match_the_legacy_defaults() {
+        let cfg = GromConfig::default();
+        let chase: ChaseConfig = (&cfg).into();
+        let legacy = ChaseConfig::default();
+        assert_eq!(chase.max_rounds, legacy.max_rounds);
+        assert_eq!(chase.max_scenarios, legacy.max_scenarios);
+        assert_eq!(chase.max_nodes, legacy.max_nodes);
+        assert_eq!(chase.max_steps_per_branch, legacy.max_steps_per_branch);
+        let pipeline: PipelineOptions = (&cfg).into();
+        assert!(!pipeline.skip_validation);
+        assert!(pipeline.interning);
+    }
+}

@@ -47,16 +47,20 @@
 //! assert!(result.validation.as_ref().unwrap().ok);
 //! ```
 
+pub mod config;
 pub mod pipeline;
 pub mod scenario;
 pub mod validate;
 
-pub use pipeline::{ExchangeResult, PipelineError, PipelineOptions};
+pub use config::GromConfig;
+pub use grom_chase::{ChaseConfig, SchedulerMode};
+pub use pipeline::{intern_dependencies, ExchangeResult, PipelineError, PipelineOptions};
 pub use scenario::MappingScenario;
 pub use validate::{validate_solution, ValidationReport};
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::config::GromConfig;
     pub use crate::pipeline::{ExchangeResult, PipelineError, PipelineOptions};
     pub use crate::scenario::MappingScenario;
     pub use crate::validate::{validate_solution, ValidationReport};

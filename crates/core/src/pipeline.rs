@@ -4,16 +4,16 @@
 use std::fmt;
 
 use grom_chase::{chase_with_deds, ChaseConfig, ChaseError, ChaseStats, WeakAcyclicityReport};
-use grom_data::{DataError, Instance};
+use grom_data::{DataError, Instance, SymbolTable, Value};
 use grom_engine::MaterializeError;
-use grom_lang::{Dependency, LangError};
+use grom_lang::{Atom, Comparison, Dependency, Disjunct, LangError, Literal, Term};
 use grom_rewrite::{rewrite_program, RewriteError, RewriteOptions, RewriteOutput};
 
 use crate::scenario::MappingScenario;
 use crate::validate::{validate_solution, ValidationReport};
 
 /// Options for [`MappingScenario::run`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PipelineOptions {
     pub rewrite: RewriteOptions,
     pub chase: ChaseConfig,
@@ -29,6 +29,25 @@ pub struct PipelineOptions {
     /// example. The core of a universal solution is itself a universal
     /// solution, so validation still holds. Off by default (extra cost).
     pub core_minimize: bool,
+    /// Intern string constants before the chase (on by default): the
+    /// working instance and the rewritten dependencies pass through one
+    /// [`SymbolTable`], so premise joins compare dense symbol ids instead
+    /// of string contents. The target is un-interned on extraction, so
+    /// results are byte-identical either way.
+    pub interning: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            rewrite: RewriteOptions::default(),
+            chase: ChaseConfig::default(),
+            skip_validation: false,
+            skip_typecheck: false,
+            core_minimize: false,
+            interning: true,
+        }
+    }
 }
 
 impl PipelineOptions {
@@ -41,6 +60,69 @@ impl PipelineOptions {
         self.chase = self.chase.with_threads(threads);
         self
     }
+
+    /// Enable or disable symbol interning for the chase (see
+    /// [`PipelineOptions::interning`]).
+    pub fn with_interning(mut self, interning: bool) -> Self {
+        self.interning = interning;
+        self
+    }
+}
+
+/// Rewrite every string constant in `deps` to its interned symbol in
+/// `table`, so dependency constants compare against [`Value::Sym`] instance
+/// columns by id. Non-string values pass through unchanged. The pipeline
+/// calls this with the same table that interned the working instance —
+/// using a different table would silently break constant/instance joins.
+pub fn intern_dependencies(deps: &[Dependency], table: &mut SymbolTable) -> Vec<Dependency> {
+    fn value(v: &Value, table: &mut SymbolTable) -> Value {
+        match v {
+            Value::Str(s) => Value::Sym(table.intern(s)),
+            other => other.clone(),
+        }
+    }
+    fn term(t: &Term, table: &mut SymbolTable) -> Term {
+        match t {
+            Term::Const(v) => Term::Const(value(v, table)),
+            var => var.clone(),
+        }
+    }
+    fn atom(a: &Atom, table: &mut SymbolTable) -> Atom {
+        Atom {
+            predicate: a.predicate.clone(),
+            args: a.args.iter().map(|t| term(t, table)).collect(),
+        }
+    }
+    fn cmp(c: &Comparison, table: &mut SymbolTable) -> Comparison {
+        Comparison::new(c.op, term(&c.lhs, table), term(&c.rhs, table))
+    }
+    deps.iter()
+        .map(|d| Dependency {
+            name: d.name.clone(),
+            premise: d
+                .premise
+                .iter()
+                .map(|l| match l {
+                    Literal::Pos(a) => Literal::Pos(atom(a, table)),
+                    Literal::Neg(a) => Literal::Neg(atom(a, table)),
+                    Literal::Cmp(c) => Literal::Cmp(cmp(c, table)),
+                })
+                .collect(),
+            disjuncts: d
+                .disjuncts
+                .iter()
+                .map(|dj| Disjunct {
+                    atoms: dj.atoms.iter().map(|a| atom(a, table)).collect(),
+                    eqs: dj
+                        .eqs
+                        .iter()
+                        .map(|(l, r)| (term(l, table), term(r, table)))
+                        .collect(),
+                    cmps: dj.cmps.iter().map(|c| cmp(c, table)).collect(),
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 /// Everything the pipeline produces.
@@ -136,6 +218,17 @@ impl MappingScenario {
         Ok(rewrite_program(&self.target_views, &deps, options)?)
     }
 
+    /// Run the full pipeline with a flat [`crate::GromConfig`] — the
+    /// preferred entry point; [`MappingScenario::run`] with hand-assembled
+    /// [`PipelineOptions`] remains for existing callers.
+    pub fn run_with(
+        &self,
+        source: &Instance,
+        config: &crate::GromConfig,
+    ) -> Result<ExchangeResult, PipelineError> {
+        self.run(source, &config.into())
+    }
+
     /// Run the full pipeline on a source instance.
     pub fn run(
         &self,
@@ -162,14 +255,27 @@ impl MappingScenario {
         //    round budget).
         let wa_report = grom_chase::is_weakly_acyclic(&rewritten.deps);
 
-        // 4. Chase (greedy ded strategy when deds are present).
-        let result = chase_with_deds(working, &rewritten.deps, &options.chase)?;
+        // 4. Chase (greedy ded strategy when deds are present). With
+        //    interning on, the working instance and the dependency
+        //    constants pass through one symbol table first, so every join
+        //    and dedup inside the chase compares dense ids; the extraction
+        //    below folds the symbols back into plain strings.
+        let result = if options.interning {
+            let mut table = SymbolTable::new();
+            let interned = working.intern_strings(&mut table);
+            let deps = intern_dependencies(&rewritten.deps, &mut table);
+            chase_with_deds(interned, &deps, &options.chase)?
+        } else {
+            chase_with_deds(working, &rewritten.deps, &options.chase)?
+        };
 
-        // 5. Extract the target instance: target-schema relations only.
+        // 5. Extract the target instance: target-schema relations only,
+        //    un-interned back to string constants.
         let mut target = Instance::new();
         for rel in self.target_schema.relations() {
             for t in result.instance.tuples(rel.name()) {
-                target.insert(rel.name(), t.clone())?;
+                let values: Vec<Value> = t.values().iter().map(Value::unintern).collect();
+                target.insert(rel.name(), values.into())?;
             }
         }
 

@@ -1,4 +1,12 @@
-//! Errors raised by the relational substrate.
+//! The unified error type of the relational substrate.
+//!
+//! One enum — [`GromError`] — covers schema construction, data insertion,
+//! and the fact-file reader. Variants carry *source context* (the relation
+//! involved and, where known, the 1-based line number of the offending fact
+//! file) so CLI exit paths can print actionable messages without threading
+//! extra state. The historical names [`DataError`] and `ReadError` (in
+//! [`crate::io`]) survive as type aliases, so older call sites and pattern
+//! matches keep compiling unchanged.
 
 use std::fmt;
 use std::sync::Arc;
@@ -6,9 +14,10 @@ use std::sync::Arc;
 use crate::schema::ColumnType;
 use crate::value::Value;
 
-/// Errors raised when building schemas or inserting data.
+/// Errors raised when building schemas, inserting data, or reading fact
+/// files.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DataError {
+pub enum GromError {
     /// A relation name was declared twice in the same schema.
     DuplicateRelation { relation: Arc<str> },
     /// A column name was declared twice in the same relation.
@@ -28,24 +37,77 @@ pub enum DataError {
         expected: ColumnType,
         actual: Value,
     },
+    /// A line of a fact file could not be parsed.
+    Syntax { line: usize, message: String },
+    /// Any error, annotated with the 1-based source line it arose at.
+    /// Produced by [`GromError::at_line`]; the reader wraps schema/data
+    /// errors this way so messages point at the offending fact.
+    AtLine { line: usize, source: Box<GromError> },
 }
 
-impl fmt::Display for DataError {
+/// Historical name for [`GromError`]; schema- and instance-level call sites
+/// were written against this alias.
+pub type DataError = GromError;
+
+impl GromError {
+    /// Annotate this error with the 1-based source line it arose at.
+    /// Syntax errors and already-annotated errors keep their original line.
+    pub fn at_line(self, line: usize) -> Self {
+        match self {
+            GromError::Syntax { .. } | GromError::AtLine { .. } => self,
+            other => GromError::AtLine {
+                line,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The source line this error points at, if known.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            GromError::Syntax { line, .. } | GromError::AtLine { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+
+    /// The relation this error concerns, if any.
+    pub fn relation(&self) -> Option<&Arc<str>> {
+        match self {
+            GromError::DuplicateRelation { relation }
+            | GromError::DuplicateColumn { relation, .. }
+            | GromError::UnknownRelation { relation }
+            | GromError::ArityMismatch { relation, .. }
+            | GromError::TypeMismatch { relation, .. } => Some(relation),
+            GromError::AtLine { source, .. } => source.relation(),
+            GromError::Syntax { .. } => None,
+        }
+    }
+
+    /// Strip any line annotation, exposing the underlying error.
+    pub fn unwrap_context(&self) -> &GromError {
+        match self {
+            GromError::AtLine { source, .. } => source.unwrap_context(),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for GromError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::DuplicateRelation { relation } => {
+            GromError::DuplicateRelation { relation } => {
                 write!(f, "relation `{relation}` declared more than once")
             }
-            DataError::DuplicateColumn { relation, column } => {
+            GromError::DuplicateColumn { relation, column } => {
                 write!(
                     f,
                     "column `{column}` declared more than once in relation `{relation}`"
                 )
             }
-            DataError::UnknownRelation { relation } => {
+            GromError::UnknownRelation { relation } => {
                 write!(f, "unknown relation `{relation}`")
             }
-            DataError::ArityMismatch {
+            GromError::ArityMismatch {
                 relation,
                 expected,
                 actual,
@@ -53,7 +115,7 @@ impl fmt::Display for DataError {
                 f,
                 "relation `{relation}` has arity {expected}, got a tuple of width {actual}"
             ),
-            DataError::TypeMismatch {
+            GromError::TypeMismatch {
                 relation,
                 column,
                 expected,
@@ -62,8 +124,49 @@ impl fmt::Display for DataError {
                 f,
                 "value {actual} does not fit column `{relation}.{column}` of type {expected}"
             ),
+            GromError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            GromError::AtLine { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for DataError {}
+impl std::error::Error for GromError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_line_annotates_and_is_idempotent() {
+        let e = GromError::UnknownRelation {
+            relation: Arc::from("R"),
+        };
+        assert_eq!(e.line(), None);
+        let e = e.at_line(7);
+        assert_eq!(e.line(), Some(7));
+        assert_eq!(e.relation().map(|r| r.as_ref()), Some("R"));
+        // A second annotation does not override the first.
+        let e = e.at_line(99);
+        assert_eq!(e.line(), Some(7));
+        assert_eq!(e.to_string(), "line 7: unknown relation `R`");
+        assert!(matches!(
+            e.unwrap_context(),
+            GromError::UnknownRelation { .. }
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_keep_their_own_line() {
+        let e = GromError::Syntax {
+            line: 3,
+            message: "bad token".into(),
+        };
+        let e = e.at_line(10);
+        assert_eq!(e.line(), Some(3));
+        assert_eq!(e.to_string(), "line 3: bad token");
+    }
+}

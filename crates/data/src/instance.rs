@@ -1,10 +1,25 @@
 //! In-memory database instances.
 //!
 //! An [`Instance`] maps relation names to [`Relation`]s: deduplicated,
-//! insertion-ordered tuple sets with eager per-column hash indexes. The
-//! indexes are what make the nested-loop joins of `grom-engine` and the
-//! violation search of `grom-chase` tolerable on instances with hundreds of
-//! thousands of tuples.
+//! insertion-ordered tuple sets with eager per-column hash indexes plus
+//! optional **composite-key indexes** on the join-key position sets the
+//! chase's static trigger analysis knows about. The indexes are what make
+//! the nested-loop joins of `grom-engine` and the violation search of
+//! `grom-chase` tolerable on instances with hundreds of thousands of
+//! tuples.
+//!
+//! Relation names resolve once to a dense [`RelId`]; hot-path callers (the
+//! redesigned `Db` trait in `grom-engine`) resolve a name a single time per
+//! evaluation and then address the relation by id — one bounds-checked
+//! vector index instead of a string hash per probe. Ids are stable for the
+//! lifetime of an instance (including across null substitutions) and are
+//! assigned in first-insert order; sorted-by-name iteration is preserved
+//! for every rendering path.
+//!
+//! Null substitution is *surgical*: only null-bearing rows are rewritten
+//! (located through the column indexes), leaving tombstones behind instead
+//! of rebuilding whole relations; a junk counter triggers compaction when
+//! tombstones and stale index entries accumulate.
 //!
 //! Instances are *schema-less* at this layer: the first tuple inserted into
 //! a relation fixes its arity, and later inserts are checked against it.
@@ -12,23 +27,80 @@
 //! scenario loader in `grom` (the core crate), which knows which schema an
 //! instance is supposed to populate.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::error::DataError;
+use crate::hash::{FxHashMap, FxHasher};
+use crate::symbol::SymbolTable;
 use crate::tuple::{Fact, Tuple};
 use crate::value::{NullId, Value};
 
-/// One relation: an insertion-ordered set of tuples plus per-column indexes.
+/// A dense relation id, assigned in first-insert order and stable for the
+/// lifetime of the instance. Resolve once with [`Instance::rel_id`], then
+/// address the relation with [`Instance::relation_by_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// A composite-key hash index over a set of column positions.
+///
+/// Buckets are keyed by a 64-bit hash of the key values rather than the
+/// values themselves: no allocation or `Value` clone per insert/probe, at
+/// the price of possible collisions — which are safe, because every reader
+/// re-checks the full pattern against the live tuple (the same contract
+/// stale buckets already impose).
+#[derive(Debug, Clone)]
+struct KeyIndex {
+    /// Sorted, deduplicated column positions (always ≥ 2 of them; single
+    /// columns are covered by the per-column indexes).
+    cols: Vec<usize>,
+    /// Hash of the values at `cols` (in order) → row ids.
+    map: FxHashMap<u64, Vec<u32>>,
+}
+
+/// Hash a sequence of key values into one composite bucket key.
+fn composite_hash<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+impl KeyIndex {
+    fn key_of(&self, tuple: &Tuple) -> u64 {
+        composite_hash(self.cols.iter().map(|&c| &tuple.values()[c]))
+    }
+}
+
+/// One relation: an insertion-ordered set of tuples plus per-column and
+/// composite-key indexes.
+///
+/// Rows live in a slot vector; null substitution tombstones rewritten slots
+/// (`None`) instead of rebuilding, so row ids referenced by index buckets
+/// stay valid. Buckets may contain *stale* entries (tombstoned slots, or
+/// live rows whose value changed); every reader re-checks the full pattern
+/// against the live tuple, and a junk counter triggers a full compaction
+/// when stale state outweighs live rows.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
-    /// Tuples in insertion order. Never contains duplicates.
-    rows: Vec<Tuple>,
-    /// Tuple → position in `rows`, for O(1) membership tests.
-    positions: HashMap<Tuple, u32>,
-    /// `indexes[c][v]` = row ids whose column `c` holds value `v`.
-    indexes: Vec<HashMap<Value, Vec<u32>>>,
+    /// Tuple slots in insertion order; `None` is a tombstone left by null
+    /// substitution. Live slots never contain duplicates.
+    rows: Vec<Option<Tuple>>,
+    /// Number of live (non-tombstone) slots.
+    live: usize,
+    /// Tombstones + rewritten rows whose old index entries are stale.
+    junk: usize,
+    /// Tuple → slot in `rows`, for O(1) membership tests.
+    positions: FxHashMap<Tuple, u32>,
+    /// `indexes[c][v]` = row ids whose column `c` holds (or held) value `v`.
+    indexes: Vec<FxHashMap<Value, Vec<u32>>>,
+    /// Composite-key indexes registered via [`Relation::register_key`].
+    keys: Vec<KeyIndex>,
+    /// Key registrations received before the arity was known.
+    requested_keys: Vec<Vec<usize>>,
     arity: Option<usize>,
 }
 
@@ -38,11 +110,11 @@ impl Relation {
     }
 
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.live == 0
     }
 
     /// The arity fixed by the first insert, if any tuple was ever inserted.
@@ -54,6 +126,60 @@ impl Relation {
         self.positions.contains_key(tuple)
     }
 
+    /// Register a composite-key index over `cols` (column positions of this
+    /// relation). Positions are sorted and deduplicated; sets of fewer than
+    /// two columns are ignored (the per-column indexes already cover them),
+    /// as are duplicates of an existing key and positions beyond the arity.
+    /// Existing rows are backfilled. Returns whether a new index was
+    /// installed (or queued, when the arity is not yet known).
+    pub fn register_key(&mut self, cols: &[usize]) -> bool {
+        let mut cols: Vec<usize> = cols.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        if cols.len() < 2 {
+            return false;
+        }
+        match self.arity {
+            None => {
+                if self.requested_keys.contains(&cols) {
+                    return false;
+                }
+                self.requested_keys.push(cols);
+                true
+            }
+            Some(a) => self.install_key(cols, a),
+        }
+    }
+
+    fn install_key(&mut self, cols: Vec<usize>, arity: usize) -> bool {
+        if cols.last().is_some_and(|&c| c >= arity) {
+            return false;
+        }
+        if self.keys.iter().any(|k| k.cols == cols) {
+            return false;
+        }
+        let mut key = KeyIndex {
+            cols,
+            map: FxHashMap::default(),
+        };
+        for (r, slot) in self.rows.iter().enumerate() {
+            if let Some(t) = slot {
+                key.map.entry(key.key_of(t)).or_default().push(r as u32);
+            }
+        }
+        self.keys.push(key);
+        true
+    }
+
+    /// The column-position sets of the registered (and still pending)
+    /// composite-key indexes.
+    pub fn key_specs(&self) -> impl Iterator<Item = &[usize]> {
+        self.keys
+            .iter()
+            .map(|k| k.cols.as_slice())
+            .chain(self.requested_keys.iter().map(Vec::as_slice))
+    }
+
     /// Insert a tuple. Returns `Ok(true)` if it was new, `Ok(false)` if it
     /// was already present, and an arity error if it does not match the
     /// relation's fixed width.
@@ -62,7 +188,10 @@ impl Relation {
             None => {
                 let a = tuple.arity();
                 self.arity = Some(a);
-                self.indexes = vec![HashMap::new(); a];
+                self.indexes = vec![FxHashMap::default(); a];
+                for cols in std::mem::take(&mut self.requested_keys) {
+                    self.install_key(cols, a);
+                }
             }
             Some(a) if a != tuple.arity() => {
                 return Err(DataError::ArityMismatch {
@@ -77,20 +206,37 @@ impl Relation {
             return Ok(false);
         }
         let row_id = self.rows.len() as u32;
-        for (c, v) in tuple.values().iter().enumerate() {
-            self.indexes[c].entry(v.clone()).or_default().push(row_id);
-        }
-        self.positions.insert(tuple.clone(), row_id);
-        self.rows.push(tuple);
+        self.place(row_id, tuple, true);
         Ok(true)
     }
 
-    /// Iterate over tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows.iter()
+    /// Record `tuple` at slot `row_id` in every index. With `append`, the
+    /// slot is pushed; otherwise `rows[row_id]` is overwritten.
+    fn place(&mut self, row_id: u32, tuple: Tuple, append: bool) {
+        for (c, v) in tuple.values().iter().enumerate() {
+            self.indexes[c].entry(v.clone()).or_default().push(row_id);
+        }
+        for i in 0..self.keys.len() {
+            let key = self.keys[i].key_of(&tuple);
+            self.keys[i].map.entry(key).or_default().push(row_id);
+        }
+        self.positions.insert(tuple.clone(), row_id);
+        if append {
+            debug_assert_eq!(row_id as usize, self.rows.len());
+            self.rows.push(Some(tuple));
+        } else {
+            self.rows[row_id as usize] = Some(tuple);
+        }
+        self.live += 1;
     }
 
-    /// Row ids whose column `col` equals `value` (possibly empty).
+    /// Iterate over live tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter().filter_map(Option::as_ref)
+    }
+
+    /// Row ids whose column `col` equals (or once equaled) `value`. May
+    /// contain stale entries; readers re-check the live tuple.
     fn rows_with(&self, col: usize, value: &Value) -> &[u32] {
         self.indexes
             .get(col)
@@ -99,70 +245,203 @@ impl Relation {
             .unwrap_or(&[])
     }
 
-    /// Tuples matching a pattern: `pattern[i] = Some(v)` requires column `i`
-    /// to equal `v`; `None` leaves it unconstrained.
+    /// The smallest index bucket usable for `pattern`: the best single
+    /// bound column, or a composite-key bucket when a registered key is
+    /// fully bound. `None` means the pattern is entirely unbound (full
+    /// scan).
+    fn best_bucket(&self, pattern: &[Option<Value>]) -> Option<&[u32]> {
+        let mut best: Option<&[u32]> = None;
+        for (c, slot) in pattern.iter().enumerate() {
+            if let Some(v) = slot {
+                let b = self.rows_with(c, v);
+                if best.is_none_or(|x| b.len() < x.len()) {
+                    best = Some(b);
+                }
+            }
+        }
+        for k in &self.keys {
+            if k.cols
+                .iter()
+                .all(|&c| pattern.get(c).is_some_and(Option::is_some))
+            {
+                let key = composite_hash(
+                    k.cols
+                        .iter()
+                        .map(|&c| pattern[c].as_ref().expect("checked bound")),
+                );
+                let b = k.map.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                if best.is_none_or(|x| b.len() < x.len()) {
+                    best = Some(b);
+                }
+            }
+        }
+        best
+    }
+
+    /// Stream the tuples matching `pattern` into `visit`, using the most
+    /// selective available index bucket (composite keys included) and no
+    /// intermediate allocation. `visit` returns `false` to stop early;
+    /// `scan_each` returns whether the scan ran to completion.
     ///
-    /// Uses the most selective available column index; falls back to a full
-    /// scan when the pattern is entirely unbound.
-    pub fn scan<'a>(&'a self, pattern: &[Option<Value>]) -> Vec<&'a Tuple> {
+    /// `pattern[i] = Some(v)` requires column `i` to equal `v`; `None`
+    /// leaves it unconstrained.
+    pub fn scan_each<'a>(
+        &'a self,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&'a Tuple) -> bool,
+    ) -> bool {
         debug_assert_eq!(Some(pattern.len()), self.arity.or(Some(pattern.len())));
-        // Pick the bound column with the fewest candidate rows.
-        let best = pattern
-            .iter()
-            .enumerate()
-            .filter_map(|(c, slot)| slot.as_ref().map(|v| (c, v, self.rows_with(c, v).len())))
-            .min_by_key(|&(_, _, n)| n);
         let matches = |t: &Tuple| {
             pattern
                 .iter()
                 .zip(t.values())
                 .all(|(slot, v)| slot.as_ref().is_none_or(|s| s == v))
         };
-        match best {
-            Some((c, v, _)) => self
-                .rows_with(c, v)
-                .iter()
-                .map(|&r| &self.rows[r as usize])
-                .filter(|t| matches(t))
-                .collect(),
-            None => self.rows.iter().filter(|t| matches(t)).collect(),
+        match self.best_bucket(pattern) {
+            Some(bucket) => {
+                for &r in bucket {
+                    if let Some(t) = self.rows[r as usize].as_ref() {
+                        if matches(t) && !visit(t) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            None => {
+                for t in self.iter() {
+                    if matches(t) && !visit(t) {
+                        return false;
+                    }
+                }
+            }
         }
+        true
+    }
+
+    /// Tuples matching a pattern, collected into a `Vec`. Prefer
+    /// [`Relation::scan_each`] on hot paths — this convenience wrapper
+    /// allocates.
+    pub fn scan<'a>(&'a self, pattern: &[Option<Value>]) -> Vec<&'a Tuple> {
+        let mut out = Vec::new();
+        self.scan_each(pattern, &mut |t| {
+            out.push(t);
+            true
+        });
+        out
     }
 
     /// An upper bound on the number of tuples matching `pattern`, computed
-    /// from the column indexes without touching any tuple: the smallest
-    /// index bucket among the bound columns, or the relation size when the
-    /// pattern is entirely unbound. The join planner in `grom-engine` uses
-    /// this as its cardinality estimate.
+    /// from the index buckets without touching any tuple: the smallest
+    /// bucket among bound columns and fully-bound composite keys, or the
+    /// live row count when the pattern is entirely unbound. The join
+    /// planner in `grom-engine` uses this as its cardinality estimate.
+    /// Stale entries may inflate the bound; never undercounts.
     pub fn estimate(&self, pattern: &[Option<Value>]) -> usize {
-        pattern
-            .iter()
-            .enumerate()
-            .filter_map(|(c, slot)| slot.as_ref().map(|v| self.rows_with(c, v).len()))
-            .min()
-            .unwrap_or_else(|| self.len())
+        match self.best_bucket(pattern) {
+            Some(bucket) => bucket.len(),
+            None => self.live,
+        }
     }
 
     /// Does any tuple match the pattern? Cheaper than [`Relation::scan`]
     /// when only existence matters (negated literals, denial checks).
     pub fn any_match(&self, pattern: &[Option<Value>]) -> bool {
-        let best = pattern
-            .iter()
-            .enumerate()
-            .filter_map(|(c, slot)| slot.as_ref().map(|v| (c, v, self.rows_with(c, v).len())))
-            .min_by_key(|&(_, _, n)| n);
-        let matches = |t: &Tuple| {
-            pattern
-                .iter()
-                .zip(t.values())
-                .all(|(slot, v)| slot.as_ref().is_none_or(|s| s == v))
+        !self.scan_each(pattern, &mut |_| false)
+    }
+
+    /// Rows (ascending slot order) whose tuple mentions a null mapped by
+    /// `map`. Probes the null buckets of the column indexes when the map is
+    /// small relative to the relation; falls back to a row sweep otherwise.
+    fn affected_rows(&self, map: &HashMap<NullId, Value>) -> Vec<u32> {
+        let Some(arity) = self.arity else {
+            return Vec::new();
         };
-        match best {
-            Some((c, v, _)) => self
-                .rows_with(c, v)
-                .iter()
-                .any(|&r| matches(&self.rows[r as usize])),
-            None => self.rows.iter().any(matches),
+        let mut out = Vec::new();
+        let probe_cost = map.len().saturating_mul(arity.max(1));
+        if probe_cost < self.rows.len() {
+            let mut seen = BTreeSet::new();
+            for id in map.keys() {
+                let needle = Value::Null(*id);
+                for c in 0..arity {
+                    seen.extend(self.rows_with(c, &needle).iter().copied());
+                }
+            }
+            for r in seen {
+                // Buckets may be stale: re-check the live tuple.
+                if let Some(t) = self.rows[r as usize].as_ref() {
+                    if t.nulls().any(|n| map.contains_key(&n)) {
+                        out.push(r);
+                    }
+                }
+            }
+        } else {
+            for (r, slot) in self.rows.iter().enumerate() {
+                if let Some(t) = slot {
+                    if t.nulls().any(|n| map.contains_key(&n)) {
+                        out.push(r as u32);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rewrite the null-bearing rows addressed by `map` in place, leaving
+    /// tombstones where rewritten tuples merged into existing ones.
+    /// Returns whether anything changed.
+    fn substitute_with(&mut self, map: &HashMap<NullId, Value>) -> bool {
+        let affected = self.affected_rows(map);
+        if affected.is_empty() {
+            return false;
+        }
+        // Phase 1: lift every affected row out, so phase 2's merge checks
+        // see a consistent membership map.
+        let mut taken: Vec<Tuple> = Vec::with_capacity(affected.len());
+        for &r in &affected {
+            let t = self.rows[r as usize].take().expect("affected row is live");
+            self.positions.remove(&t);
+            self.live -= 1;
+            self.junk += 1;
+            taken.push(t);
+        }
+        // Phase 2: rewrite and re-append in the old slot order; tuples that
+        // collide with a surviving row simply merge (their slot stays a
+        // tombstone).
+        for old in taken {
+            let (new, _) = old.substitute_nulls(&mut |id| map.get(&id).cloned());
+            if self.positions.contains_key(&new) {
+                continue;
+            }
+            let row_id = self.rows.len() as u32;
+            self.place(row_id, new, true);
+        }
+        self.maybe_compact();
+        true
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.junk > 64 && self.junk > self.live {
+            self.compact();
+        }
+    }
+
+    /// Rebuild rows, membership and every index from the live tuples,
+    /// dropping tombstones and stale bucket entries. Insertion order of the
+    /// survivors is preserved.
+    fn compact(&mut self) {
+        let arity = self.arity.unwrap_or(0);
+        let old_rows = std::mem::take(&mut self.rows);
+        self.positions.clear();
+        self.indexes = vec![FxHashMap::default(); arity];
+        for k in &mut self.keys {
+            k.map.clear();
+        }
+        self.live = 0;
+        self.junk = 0;
+        self.rows = Vec::with_capacity(self.positions.capacity());
+        for t in old_rows.into_iter().flatten() {
+            let row_id = self.rows.len() as u32;
+            self.place(row_id, t, true);
         }
     }
 }
@@ -224,10 +503,17 @@ impl DeltaLog {
     }
 }
 
-/// A database instance: relation name → [`Relation`].
+/// A database instance: relation name → [`Relation`], with dense [`RelId`]
+/// resolution for hot-path callers.
 #[derive(Debug, Clone, Default)]
 pub struct Instance {
-    relations: BTreeMap<Arc<str>, Relation>,
+    /// Name → dense id; the sorted iteration order of every rendering path.
+    names: BTreeMap<Arc<str>, RelId>,
+    /// Relations addressed by [`RelId`], in first-insert order.
+    store: Vec<(Arc<str>, Relation)>,
+    /// Composite-key registrations for relations that do not exist yet;
+    /// applied when the relation is first created.
+    pending_keys: BTreeMap<Arc<str>, Vec<Vec<usize>>>,
     /// Delta log, present only while tracking is enabled.
     delta: Option<DeltaLog>,
 }
@@ -251,9 +537,43 @@ impl Instance {
         self.insert(&fact.relation, fact.tuple)
     }
 
+    /// The dense id of `name`, if the relation exists. Ids are stable for
+    /// the lifetime of this instance (null substitution included).
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.names.get(name).copied()
+    }
+
+    /// The relation with id `id`.
+    ///
+    /// # Panics
+    /// If `id` did not come from this instance's [`Instance::rel_id`].
+    pub fn relation_by_id(&self, id: RelId) -> &Relation {
+        &self.store[id.0 as usize].1
+    }
+
+    /// The name of the relation with id `id`.
+    pub fn rel_name(&self, id: RelId) -> &Arc<str> {
+        &self.store[id.0 as usize].0
+    }
+
     /// Insert a tuple into `relation`; returns whether it was new.
     pub fn insert(&mut self, relation: &Arc<str>, tuple: Tuple) -> Result<bool, DataError> {
-        let rel = self.relations.entry(relation.clone()).or_default();
+        let id = match self.names.get(relation.as_ref()) {
+            Some(&id) => id,
+            None => {
+                let id = RelId(self.store.len() as u32);
+                self.names.insert(relation.clone(), id);
+                let mut rel = Relation::new();
+                if let Some(specs) = self.pending_keys.remove(relation.as_ref()) {
+                    for cols in specs {
+                        rel.register_key(&cols);
+                    }
+                }
+                self.store.push((relation.clone(), rel));
+                id
+            }
+        };
+        let rel = &mut self.store[id.0 as usize].1;
         let Some(delta) = &mut self.delta else {
             return rel.insert(relation, tuple);
         };
@@ -268,6 +588,31 @@ impl Instance {
             delta.record(relation, logged);
         }
         Ok(new)
+    }
+
+    /// Register a composite-key index on `relation` over column positions
+    /// `cols`. If the relation does not exist yet, the registration is
+    /// remembered and applied when it is first created — the chase wires up
+    /// the join keys its trigger analysis discovered before any conclusion
+    /// relation is materialized.
+    pub fn register_key(&mut self, relation: &str, cols: &[usize]) {
+        match self.names.get(relation) {
+            Some(&id) => {
+                self.store[id.0 as usize].1.register_key(cols);
+            }
+            None => {
+                let mut cols: Vec<usize> = cols.to_vec();
+                cols.sort_unstable();
+                cols.dedup();
+                if cols.len() < 2 {
+                    return;
+                }
+                let entry = self.pending_keys.entry(Arc::from(relation)).or_default();
+                if !entry.contains(&cols) {
+                    entry.push(cols);
+                }
+            }
+        }
     }
 
     /// Start recording newly inserted tuples into a [`DeltaLog`]. Clears any
@@ -306,32 +651,27 @@ impl Instance {
     }
 
     pub fn relation(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.names.get(name).map(|&id| &self.store[id.0 as usize].1)
     }
 
     /// Tuples of `name`, or an empty iterator if the relation is absent.
     pub fn tuples(&self, name: &str) -> impl Iterator<Item = &Tuple> {
-        self.relations
-            .get(name)
-            .into_iter()
-            .flat_map(Relation::iter)
+        self.relation(name).into_iter().flat_map(Relation::iter)
     }
 
     pub fn contains_fact(&self, relation: &str, tuple: &Tuple) -> bool {
-        self.relations
-            .get(relation)
-            .is_some_and(|r| r.contains(tuple))
+        self.relation(relation).is_some_and(|r| r.contains(tuple))
     }
 
     /// Relation names present in this instance (sorted).
     pub fn relation_names(&self) -> impl Iterator<Item = &Arc<str>> {
-        self.relations.keys()
+        self.names.keys()
     }
 
     /// All facts, grouped by relation (sorted) and then insertion order.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations.iter().flat_map(|(name, rel)| {
-            rel.iter().map(move |t| Fact {
+        self.names.iter().flat_map(|(name, &id)| {
+            self.store[id.0 as usize].1.iter().map(move |t| Fact {
                 relation: name.clone(),
                 tuple: t.clone(),
             })
@@ -340,7 +680,7 @@ impl Instance {
 
     /// Total number of tuples across all relations.
     pub fn len(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.store.iter().map(|(_, r)| r.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -349,8 +689,8 @@ impl Instance {
 
     /// Merge all facts of `other` into `self`.
     pub fn absorb(&mut self, other: &Instance) -> Result<(), DataError> {
-        for (name, rel) in &other.relations {
-            for t in rel.iter() {
+        for (name, id) in &other.names {
+            for t in other.store[id.0 as usize].1.iter() {
                 self.insert(name, t.clone())?;
             }
         }
@@ -387,66 +727,81 @@ impl Instance {
     /// The largest null label occurring anywhere, if any. Chase runs over an
     /// instance that already contains nulls start their generator above it.
     pub fn max_null_label(&self) -> Option<u64> {
-        self.relations
-            .values()
-            .flat_map(|r| r.iter())
+        self.store
+            .iter()
+            .flat_map(|(_, r)| r.iter())
             .flat_map(|t| t.nulls())
             .map(|NullId(l)| l)
             .max()
     }
 
+    /// Replace every `Value::Str` constant with its interned
+    /// [`Value::Sym`], interning through `table` in deterministic order
+    /// (relations sorted by name, tuples in insertion order). Relation
+    /// structure, registered keys and insertion order carry over; delta
+    /// tracking state does not (the chase re-enables it).
+    pub fn intern_strings(&self, table: &mut SymbolTable) -> Instance {
+        let mut out = Instance::new();
+        for (name, &id) in &self.names {
+            for cols in self.store[id.0 as usize].1.key_specs() {
+                out.register_key(name, cols);
+            }
+            for t in self.store[id.0 as usize].1.iter() {
+                let values: Vec<Value> = t
+                    .values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => Value::Sym(table.intern(s)),
+                        other => other.clone(),
+                    })
+                    .collect();
+                out.insert(name, Tuple::new(values))
+                    .expect("interning preserves arity");
+            }
+        }
+        out
+    }
+
+    /// Resolve every interned [`Value::Sym`] back to a plain `Value::Str`
+    /// constant. Inverse of [`Instance::intern_strings`] up to index
+    /// bookkeeping.
+    pub fn unintern_strings(&self) -> Instance {
+        let mut out = Instance::new();
+        for (name, &id) in &self.names {
+            for t in self.store[id.0 as usize].1.iter() {
+                let values: Vec<Value> = t.values().iter().map(Value::unintern).collect();
+                out.insert(name, Tuple::new(values))
+                    .expect("uninterning preserves arity");
+            }
+        }
+        out
+    }
+
     /// Apply a *fully resolved* multi-mapping null substitution in one
-    /// pass: `map` sends each mapped label directly to its final value (no
-    /// chains — the caller collapses them once, e.g. with the chase's
-    /// `NullMap::flatten`), so every occurrence costs a single hash lookup
-    /// instead of a chain walk.
+    /// surgical pass: `map` sends each mapped label directly to its final
+    /// value (no chains — the caller collapses them once, e.g. with the
+    /// chase's `NullMap::flatten`). Only the rows that actually mention a
+    /// mapped null are rewritten — located through the column indexes —
+    /// instead of rebuilding whole relations; tuples that become equal
+    /// after substitution merge, leaving tombstones that compaction reclaims.
     ///
     /// This is the entry point of sweep-level egd batching: the chase
     /// accumulates a whole sweep's equality obligations in its union-find
-    /// and applies them to the instance in one combined pass. Semantics are
-    /// otherwise identical to [`Instance::substitute_nulls`], including the
-    /// changed-relation report and delta-log invalidation.
+    /// and applies them to the instance in one combined pass. Returns the
+    /// names of the relations that changed; any active delta log is marked
+    /// invalidated when a relation changes, exactly like
+    /// [`Instance::substitute_nulls`].
     pub fn substitute_nulls_batch(&mut self, map: &HashMap<NullId, Value>) -> Vec<Arc<str>> {
         if map.is_empty() {
             return Vec::new();
         }
-        self.substitute_nulls(|id| map.get(&id).cloned())
-    }
-
-    /// Apply a null substitution everywhere, rebuilding every touched
-    /// relation. Tuples that become equal after substitution are merged.
-    /// Returns the names of the relations that were rewritten.
-    ///
-    /// This is the instance-level half of egd enforcement: the chase decides
-    /// which labels map to which values (union-find in `grom-chase`) and
-    /// calls this to normalize the instance. Because rewritten tuples may
-    /// alias tuples a [`DeltaLog`] recorded earlier, any active delta log is
-    /// marked invalidated when a relation changes. Callers holding a
-    /// pre-flattened mapping should prefer the one-pass
-    /// [`Instance::substitute_nulls_batch`].
-    pub fn substitute_nulls(
-        &mut self,
-        mut lookup: impl FnMut(NullId) -> Option<Value>,
-    ) -> Vec<Arc<str>> {
-        let names: Vec<Arc<str>> = self.relations.keys().cloned().collect();
         let mut changed = Vec::new();
-        for name in names {
-            let rel = &self.relations[&name];
-            // Fast path: skip relations where nothing changes.
-            let needs_rewrite = rel.iter().any(|t| t.nulls().any(|id| lookup(id).is_some()));
-            if !needs_rewrite {
-                continue;
+        for idx in 0..self.store.len() {
+            if self.store[idx].1.substitute_with(map) {
+                changed.push(self.store[idx].0.clone());
             }
-            let mut rebuilt = Relation::new();
-            for t in rel.iter() {
-                let (nt, _) = t.substitute_nulls(&mut lookup);
-                rebuilt
-                    .insert(&name, nt)
-                    .expect("substitution preserves arity");
-            }
-            self.relations.insert(name.clone(), rebuilt);
-            changed.push(name);
         }
+        changed.sort();
         if !changed.is_empty() {
             if let Some(delta) = &mut self.delta {
                 delta.invalidated = true;
@@ -454,12 +809,52 @@ impl Instance {
         }
         changed
     }
+
+    /// Apply a null substitution everywhere. Tuples that become equal after
+    /// substitution are merged. Returns the names of the relations that
+    /// were rewritten.
+    ///
+    /// This is the instance-level half of egd enforcement: the chase decides
+    /// which labels map to which values (union-find in `grom-chase`) and
+    /// calls this to normalize the instance. The lookup is memoized per
+    /// label and the rewrite delegates to the surgical
+    /// [`Instance::substitute_nulls_batch`] machinery, so unaffected rows
+    /// are never touched. Because rewritten tuples may alias tuples a
+    /// [`DeltaLog`] recorded earlier, any active delta log is marked
+    /// invalidated when a relation changes.
+    pub fn substitute_nulls(
+        &mut self,
+        mut lookup: impl FnMut(NullId) -> Option<Value>,
+    ) -> Vec<Arc<str>> {
+        // Resolve the closure into a flat map over the labels that actually
+        // occur, memoizing so each label is looked up once.
+        let mut map: HashMap<NullId, Value> = HashMap::new();
+        let mut misses: std::collections::HashSet<NullId> = Default::default();
+        for (_, rel) in &self.store {
+            for t in rel.iter() {
+                for n in t.nulls() {
+                    if map.contains_key(&n) || misses.contains(&n) {
+                        continue;
+                    }
+                    match lookup(n) {
+                        Some(v) => {
+                            map.insert(n, v);
+                        }
+                        None => {
+                            misses.insert(n);
+                        }
+                    }
+                }
+            }
+        }
+        self.substitute_nulls_batch(&map)
+    }
 }
 
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (name, rel) in &self.relations {
-            for t in rel.iter() {
+        for (name, &id) in &self.names {
+            for t in self.store[id.0 as usize].1.iter() {
                 writeln!(f, "{name}{t}")?;
             }
         }
@@ -485,6 +880,25 @@ mod tests {
         assert!(inst.contains_fact("R", &Tuple::new(vec![v(1), v(2)])));
         assert!(!inst.contains_fact("R", &Tuple::new(vec![v(9), v(9)])));
         assert!(!inst.contains_fact("S", &Tuple::new(vec![v(1)])));
+    }
+
+    #[test]
+    fn rel_ids_are_dense_and_stable() {
+        let mut inst = Instance::new();
+        inst.add("B", vec![v(1)]).unwrap();
+        inst.add("A", vec![v(2)]).unwrap();
+        let a = inst.rel_id("A").unwrap();
+        let b = inst.rel_id("B").unwrap();
+        assert_eq!(b, RelId(0)); // first-insert order, not name order
+        assert_eq!(a, RelId(1));
+        assert!(inst.rel_id("C").is_none());
+        assert_eq!(inst.rel_name(a).as_ref(), "A");
+        assert_eq!(inst.relation_by_id(b).len(), 1);
+        // Ids survive null substitution.
+        inst.add("B", vec![Value::null(0)]).unwrap();
+        inst.substitute_nulls(|id| (id == NullId(0)).then(|| v(9)));
+        assert_eq!(inst.rel_id("B"), Some(b));
+        assert_eq!(inst.relation_by_id(b).len(), 2);
     }
 
     #[test]
@@ -520,6 +934,75 @@ mod tests {
         assert!(none.is_empty());
         let all = rel.scan(&[None, None]);
         assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn scan_each_stops_early() {
+        let mut inst = Instance::new();
+        for i in 0..10 {
+            inst.add("R", vec![v(i)]).unwrap();
+        }
+        let rel = inst.relation("R").unwrap();
+        let mut seen = 0;
+        let completed = rel.scan_each(&[None], &mut |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert!(!completed);
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn composite_keys_index_bound_patterns() {
+        let mut inst = Instance::new();
+        inst.register_key("R", &[0, 1]);
+        for i in 0..100 {
+            inst.add("R", vec![v(i % 5), v(i % 7), v(i)]).unwrap();
+        }
+        let rel = inst.relation("R").unwrap();
+        assert!(rel.key_specs().any(|k| k == [0, 1]));
+        // The composite bucket is far smaller than either column bucket.
+        let pattern = [Some(v(2)), Some(v(3)), None];
+        let est = rel.estimate(&pattern);
+        assert!(est <= 3, "composite estimate {est} should be tight");
+        let hits = rel.scan(&pattern);
+        assert!(hits
+            .iter()
+            .all(|t| t.get(0) == Some(&v(2)) && t.get(1) == Some(&v(3))));
+        // Equivalence with a linear scan.
+        let linear: Vec<&Tuple> = rel
+            .iter()
+            .filter(|t| t.get(0) == Some(&v(2)) && t.get(1) == Some(&v(3)))
+            .collect();
+        assert_eq!(hits, linear);
+    }
+
+    #[test]
+    fn keys_registered_late_backfill() {
+        let mut inst = Instance::new();
+        for i in 0..10 {
+            inst.add("R", vec![v(i % 2), v(i % 3)]).unwrap();
+        }
+        inst.register_key("R", &[0, 1]);
+        let rel = inst.relation("R").unwrap();
+        let hits = rel.scan(&[Some(v(1)), Some(v(2))]);
+        let linear: Vec<&Tuple> = rel
+            .iter()
+            .filter(|t| t.get(0) == Some(&v(1)) && t.get(1) == Some(&v(2)))
+            .collect();
+        assert_eq!(hits, linear);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn degenerate_key_specs_ignored() {
+        let mut inst = Instance::new();
+        inst.register_key("R", &[1, 1]); // dedups to one column: ignored
+        inst.register_key("R", &[0, 5]); // out of range once arity known
+        inst.add("R", vec![v(1), v(2)]).unwrap();
+        let rel = inst.relation("R").unwrap();
+        assert_eq!(rel.key_specs().count(), 0);
+        assert!(rel.any_match(&[Some(v(1)), Some(v(2))]));
     }
 
     #[test]
@@ -578,6 +1061,47 @@ mod tests {
     }
 
     #[test]
+    fn substitution_is_surgical_and_compaction_reclaims() {
+        let mut inst = Instance::new();
+        // 200 null-free rows that must never be touched, plus 100 null rows.
+        for i in 0..200 {
+            inst.add("R", vec![v(i), v(-1)]).unwrap();
+        }
+        for i in 0..100 {
+            inst.add("R", vec![Value::null(i), v(-2)]).unwrap();
+        }
+        let map: HashMap<NullId, Value> =
+            (0..100).map(|i| (NullId(i), v(i as i64 + 1000))).collect();
+        let changed = inst.substitute_nulls_batch(&map);
+        assert_eq!(changed.len(), 1);
+        let rel = inst.relation("R").unwrap();
+        assert_eq!(rel.len(), 300);
+        for i in 0..100 {
+            assert!(inst.contains_fact("R", &Tuple::new(vec![v(i + 1000), v(-2)])));
+        }
+        // A second, merging substitution drives every rewritten row into an
+        // existing one; repeated rounds force compaction and scans stay
+        // correct throughout.
+        let mut inst2 = Instance::new();
+        for round in 0..5u64 {
+            for i in 0..50u64 {
+                inst2
+                    .add("S", vec![Value::null(round * 50 + i), v(i as i64)])
+                    .unwrap();
+            }
+            let map: HashMap<NullId, Value> =
+                (0..50u64).map(|i| (NullId(round * 50 + i), v(7))).collect();
+            inst2.substitute_nulls_batch(&map);
+            // All 50 rows collapse to (7, i) per distinct second column.
+            assert_eq!(inst2.relation("S").unwrap().len(), 50);
+        }
+        let rel = inst2.relation("S").unwrap();
+        assert_eq!(rel.scan(&[Some(v(7)), None]).len(), 50);
+        assert_eq!(rel.scan(&[Some(v(7)), Some(v(3))]).len(), 1);
+        assert_eq!(rel.iter().count(), 50);
+    }
+
+    #[test]
     fn substitute_nulls_batch_applies_flat_map_once() {
         let mut inst = Instance::new();
         inst.add("R", vec![Value::null(0), Value::null(2)]).unwrap();
@@ -600,6 +1124,47 @@ mod tests {
         inst.add("R", vec![Value::null(3), Value::null(11)])
             .unwrap();
         assert_eq!(inst.max_null_label(), Some(11));
+    }
+
+    #[test]
+    fn intern_and_unintern_round_trip() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![Value::str("a"), v(1)]).unwrap();
+        inst.add("R", vec![Value::str("b"), v(2)]).unwrap();
+        inst.add("S", vec![Value::str("a"), Value::null(3)])
+            .unwrap();
+        inst.register_key("R", &[0, 1]);
+        let mut table = SymbolTable::new();
+        let interned = inst.intern_strings(&mut table);
+        assert_eq!(table.len(), 2); // "a", "b"
+        assert_eq!(interned.len(), inst.len());
+        // Every Str became a Sym; nulls and ints untouched.
+        for f in interned.facts() {
+            assert!(f.tuple.values().iter().all(|v| !matches!(v, Value::Str(_))));
+        }
+        // Key registrations carry over.
+        assert!(interned
+            .relation("R")
+            .unwrap()
+            .key_specs()
+            .any(|k| k == [0, 1]));
+        // Sym-keyed scans work like Str-keyed scans did.
+        let sym_a = Value::Sym(table.get("a").unwrap());
+        assert_eq!(
+            interned
+                .relation("R")
+                .unwrap()
+                .scan(&[Some(sym_a), None])
+                .len(),
+            1
+        );
+        // Round trip restores plain strings, byte for byte.
+        let back = interned.unintern_strings();
+        assert_eq!(back.to_string(), inst.to_string());
+        assert_eq!(
+            crate::io::canonical_render(&interned),
+            crate::io::canonical_render(&inst)
+        );
     }
 
     #[test]

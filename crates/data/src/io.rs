@@ -8,37 +8,15 @@
 
 use std::sync::Arc;
 
-use crate::error::DataError;
+use crate::error::GromError;
 use crate::instance::Instance;
 use crate::value::Value;
 
-/// Errors raised when reading instance files.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ReadError {
-    /// Syntax error with 1-based line number.
-    Syntax { line: usize, message: String },
-    /// Storage error (arity drift between facts of one relation).
-    Data(DataError),
-}
-
-impl std::fmt::Display for ReadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ReadError::Syntax { line, message } => {
-                write!(f, "instance file, line {line}: {message}")
-            }
-            ReadError::Data(e) => write!(f, "instance file: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ReadError {}
-
-impl From<DataError> for ReadError {
-    fn from(e: DataError) -> Self {
-        ReadError::Data(e)
-    }
-}
+/// Historical name for [`GromError`] as raised by the fact-file reader.
+/// Syntax problems surface as [`GromError::Syntax`]; storage problems (e.g.
+/// arity drift between facts of one relation) surface as the underlying
+/// data variant wrapped in [`GromError::AtLine`].
+pub type ReadError = GromError;
 
 /// Parse one value token: integer, quoted string, boolean, or null `N<k>`.
 fn parse_value(token: &str, line: usize) -> Result<Value, ReadError> {
@@ -156,7 +134,8 @@ pub fn read_instance(text: &str) -> Result<Instance, ReadError> {
         for token in split_args(body, line_no)? {
             values.push(parse_value(&token, line_no)?);
         }
-        inst.insert(&rel, values.into())?;
+        inst.insert(&rel, values.into())
+            .map_err(|e| e.at_line(line_no))?;
     }
     Ok(inst)
 }
@@ -339,7 +318,15 @@ mod tests {
     #[test]
     fn arity_drift_detected() {
         let err = read_instance("R(1).\nR(1, 2).").unwrap_err();
-        assert!(matches!(err, ReadError::Data(_)));
+        assert_eq!(err.line(), Some(2));
+        assert!(matches!(
+            err.unwrap_context(),
+            ReadError::ArityMismatch {
+                expected: 1,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -22,15 +22,19 @@
 //! strings), and fast bound-column lookups during joins.
 
 pub mod error;
+pub mod hash;
 pub mod instance;
 pub mod io;
 pub mod schema;
+pub mod symbol;
 pub mod tuple;
 pub mod value;
 
-pub use error::DataError;
-pub use instance::{DeltaLog, Instance, Relation};
+pub use error::{DataError, GromError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use instance::{DeltaLog, Instance, RelId, Relation};
 pub use io::{canonical_render, read_instance, write_instance, ReadError};
 pub use schema::{ColumnSchema, ColumnType, RelationSchema, Schema};
+pub use symbol::{Sym, SymbolTable};
 pub use tuple::{Fact, Tuple};
 pub use value::{NullGenerator, NullId, StridedNullGenerator, Value};

@@ -36,6 +36,7 @@ impl ColumnType {
                 | (ColumnType::Any, _)
                 | (ColumnType::Int, Value::Int(_))
                 | (ColumnType::String, Value::Str(_))
+                | (ColumnType::String, Value::Sym(_))
                 | (ColumnType::Bool, Value::Bool(_))
         )
     }

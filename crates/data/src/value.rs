@@ -10,6 +10,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::symbol::Sym;
+
 /// The label of a labeled null. Labels are allocated by a [`NullGenerator`]
 /// and are globally unique within one chase run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,6 +33,12 @@ pub enum Value {
     Int(i64),
     /// String constant.
     Str(Arc<str>),
+    /// An **interned** string constant: compares and hashes by its dense
+    /// `u32` id (see [`crate::symbol::SymbolTable`]). The pipeline interns
+    /// all string constants of one run together, so `Sym` and `Str` never
+    /// mix inside one database; renderings are identical to the equivalent
+    /// `Str`.
+    Sym(Sym),
     /// Boolean constant.
     Bool(bool),
     /// A labeled null `N_k` standing for an unknown value.
@@ -84,11 +92,23 @@ impl Value {
         }
     }
 
-    /// The string payload, if this is a `Str`.
+    /// The string payload, if this is a `Str` or an interned `Sym`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            Value::Sym(s) => Some(s.as_str()),
             _ => None,
+        }
+    }
+
+    /// Resolve an interned symbol back to a plain string constant; every
+    /// other value is returned unchanged. The pipeline applies this to the
+    /// extracted target so downstream consumers (validation, rendering,
+    /// user code) only ever see `Str` constants.
+    pub fn unintern(&self) -> Value {
+        match self {
+            Value::Sym(s) => Value::Str(s.text().clone()),
+            other => other.clone(),
         }
     }
 
@@ -110,6 +130,11 @@ impl Value {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
             (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            // Interned and plain strings order by text, so comparison atoms
+            // behave identically with interning on or off.
+            (Value::Sym(a), Value::Sym(b)) => Some(a.as_str().cmp(b.as_str())),
+            (Value::Str(a), Value::Sym(b)) => Some(a.as_ref().cmp(b.as_str())),
+            (Value::Sym(a), Value::Str(b)) => Some(a.as_str().cmp(b.as_ref())),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             _ => None,
         }
@@ -121,6 +146,7 @@ impl fmt::Display for Value {
         match self {
             Value::Int(i) => write!(f, "{i}"),
             Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Sym(s) => write!(f, "\"{s}\""),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Null(id) => write!(f, "{id}"),
         }

@@ -11,99 +11,201 @@
 //! [`PairDb`], or the shard views of `grom-exec` — has no single relation
 //! object to return for a name stored on both sides, but it can always
 //! answer a pattern query by combining its parts.
+//!
+//! ## Resolved tokens and streaming scans
+//!
+//! The hot path resolves a relation name **once** per evaluation into an
+//! opaque [`DbRel`] token ([`Db::resolve`]) and then addresses the relation
+//! by token: [`Db::scan_rel`] streams matching tuples into a callback with
+//! no intermediate `Vec`, [`Db::estimate_rel`] / [`Db::any_match_rel`] /
+//! [`Db::len_rel`] answer planner queries. Token encodings are private to
+//! each implementation (an [`Instance`] packs its dense
+//! [`grom_data::RelId`]; composites pack one id per side). Tokens are only
+//! meaningful on the database that issued them and remain valid as long as
+//! that database is not mutated.
+//!
+//! The historical name-keyed methods (`scan_relation`, …) survive as
+//! default implementations over `resolve`, so existing callers and tests
+//! keep working; new code should resolve once and use the `_rel` forms.
 
-use grom_data::{Instance, Relation, Tuple, Value};
+use grom_data::{Instance, RelId, Tuple, Value};
 
-/// Read access to a set of relations by name, via pattern queries.
+/// Flow control for streaming evaluation and scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    Continue,
+    Stop,
+}
+
+/// An opaque, `Copy` token for a relation of a specific [`Db`], produced by
+/// [`Db::resolve`]. The payload encoding is implementation-defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DbRel(pub u64);
+
+/// Read access to a set of relations, via pattern queries.
 ///
-/// Patterns follow [`Relation::scan`]: `pattern[i] = Some(v)` constrains
-/// column `i` to equal `v`; `None` leaves it free. Absent relations behave
-/// as empty: `scan` yields nothing, `any_match` is false, `estimate` and
-/// `relation_len` are zero.
+/// Patterns follow [`grom_data::Relation::scan_each`]: `pattern[i] =
+/// Some(v)` constrains column `i` to equal `v`; `None` leaves it free.
+/// Absent relations behave as empty: [`Db::resolve`] returns `None`, and
+/// the name-keyed defaults yield nothing / `false` / zero.
 pub trait Db {
-    /// Tuples of `relation` matching `pattern`, in insertion order.
-    fn scan_relation<'a>(&'a self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'a Tuple>;
+    /// Resolve `relation` to an opaque token, or `None` if it is absent
+    /// (and therefore empty). Resolve once per evaluation, not per probe.
+    fn resolve(&self, relation: &str) -> Option<DbRel>;
 
-    /// An index-based upper bound on the number of tuples matching
+    /// Stream the tuples of `rel` matching `pattern` into `visit`, in
+    /// insertion order, stopping early when `visit` returns
+    /// [`Control::Stop`].
+    fn scan_rel<'a>(
+        &'a self,
+        rel: DbRel,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&'a Tuple) -> Control,
+    );
+
+    /// An index-based upper bound on the number of tuples of `rel` matching
     /// `pattern` — the join planner's cardinality estimate.
-    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize;
+    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize;
 
-    /// Does any tuple of `relation` match `pattern`? Cheaper than
-    /// [`Db::scan_relation`] when only existence matters (negated literals,
-    /// denial checks).
-    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool;
+    /// Does any tuple of `rel` match `pattern`? Cheaper than a scan when
+    /// only existence matters (negated literals, denial checks).
+    fn any_match_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> bool {
+        let mut found = false;
+        self.scan_rel(rel, pattern, &mut |_| {
+            found = true;
+            Control::Stop
+        });
+        found
+    }
+
+    /// Number of tuples in `rel`.
+    fn len_rel(&self, rel: DbRel) -> usize;
+
+    /// Tuples of `relation` matching `pattern`, collected into a `Vec`.
+    /// Name-keyed convenience over [`Db::resolve`] + [`Db::scan_rel`];
+    /// prefer the streaming form on hot paths.
+    fn scan_relation<'a>(&'a self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'a Tuple> {
+        let mut out = Vec::new();
+        if let Some(rel) = self.resolve(relation) {
+            self.scan_rel(rel, pattern, &mut |t| {
+                out.push(t);
+                Control::Continue
+            });
+        }
+        out
+    }
+
+    /// Name-keyed convenience over [`Db::estimate_rel`].
+    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize {
+        self.resolve(relation)
+            .map_or(0, |rel| self.estimate_rel(rel, pattern))
+    }
+
+    /// Name-keyed convenience over [`Db::any_match_rel`].
+    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool {
+        self.resolve(relation)
+            .is_some_and(|rel| self.any_match_rel(rel, pattern))
+    }
 
     /// Number of tuples in `relation` (0 if absent).
-    fn relation_len(&self, relation: &str) -> usize;
+    fn relation_len(&self, relation: &str) -> usize {
+        self.resolve(relation).map_or(0, |rel| self.len_rel(rel))
+    }
 }
 
 impl Db for Instance {
-    fn scan_relation<'a>(&'a self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'a Tuple> {
-        self.relation(relation)
-            .map(|rel| rel.scan(pattern))
-            .unwrap_or_default()
+    fn resolve(&self, relation: &str) -> Option<DbRel> {
+        self.rel_id(relation).map(|RelId(id)| DbRel(u64::from(id)))
     }
 
-    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize {
-        self.relation(relation)
-            .map_or(0, |rel| rel.estimate(pattern))
+    fn scan_rel<'a>(
+        &'a self,
+        rel: DbRel,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&'a Tuple) -> Control,
+    ) {
+        self.relation_by_id(RelId(rel.0 as u32))
+            .scan_each(pattern, &mut |t| visit(t) == Control::Continue);
     }
 
-    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool {
-        self.relation(relation)
-            .is_some_and(|rel| rel.any_match(pattern))
+    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize {
+        self.relation_by_id(RelId(rel.0 as u32)).estimate(pattern)
     }
 
-    fn relation_len(&self, relation: &str) -> usize {
-        self.relation(relation).map_or(0, Relation::len)
+    fn any_match_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> bool {
+        self.relation_by_id(RelId(rel.0 as u32)).any_match(pattern)
+    }
+
+    fn len_rel(&self, rel: DbRel) -> usize {
+        self.relation_by_id(RelId(rel.0 as u32)).len()
     }
 }
 
 /// Two instances viewed as one database. Relation names must not overlap
 /// (GROM enforces distinct source/target relation names, cf. the `S-`/`T-`
 /// prefixes of the paper); if they do, the first instance wins.
+///
+/// Token encoding: bit 32 selects the side (0 = first, 1 = second), the low
+/// 32 bits are the side's dense [`RelId`].
 #[derive(Debug, Clone, Copy)]
 pub struct PairDb<'a> {
     pub first: &'a Instance,
     pub second: &'a Instance,
 }
 
+const SIDE_BIT: u64 = 1 << 32;
+
 impl<'a> PairDb<'a> {
     pub fn new(first: &'a Instance, second: &'a Instance) -> Self {
         Self { first, second }
     }
 
-    /// The instance holding `name`, if either does (first wins).
-    fn side(&self, name: &str) -> Option<&'a Instance> {
-        if self.first.relation(name).is_some() {
-            Some(self.first)
-        } else if self.second.relation(name).is_some() {
-            Some(self.second)
+    /// Decode a token into the owning instance and its local [`RelId`].
+    fn decode(&self, rel: DbRel) -> (&'a Instance, RelId) {
+        let side = if rel.0 & SIDE_BIT == 0 {
+            self.first
         } else {
-            None
-        }
+            self.second
+        };
+        (side, RelId(rel.0 as u32))
     }
 }
 
 impl Db for PairDb<'_> {
-    fn scan_relation<'a>(&'a self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'a Tuple> {
-        self.side(relation)
-            .map(|i| i.scan_relation(relation, pattern))
-            .unwrap_or_default()
+    fn resolve(&self, relation: &str) -> Option<DbRel> {
+        if let Some(RelId(id)) = self.first.rel_id(relation) {
+            Some(DbRel(u64::from(id)))
+        } else {
+            self.second
+                .rel_id(relation)
+                .map(|RelId(id)| DbRel(SIDE_BIT | u64::from(id)))
+        }
     }
 
-    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize {
-        self.side(relation)
-            .map_or(0, |i| i.estimate_relation(relation, pattern))
+    fn scan_rel<'b>(
+        &'b self,
+        rel: DbRel,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&'b Tuple) -> Control,
+    ) {
+        let (side, id) = self.decode(rel);
+        side.relation_by_id(id)
+            .scan_each(pattern, &mut |t| visit(t) == Control::Continue);
     }
 
-    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool {
-        self.side(relation)
-            .is_some_and(|i| i.any_match_relation(relation, pattern))
+    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize {
+        let (side, id) = self.decode(rel);
+        side.relation_by_id(id).estimate(pattern)
     }
 
-    fn relation_len(&self, relation: &str) -> usize {
-        self.side(relation).map_or(0, |i| i.relation_len(relation))
+    fn any_match_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> bool {
+        let (side, id) = self.decode(rel);
+        side.relation_by_id(id).any_match(pattern)
+    }
+
+    fn len_rel(&self, rel: DbRel) -> usize {
+        let (side, id) = self.decode(rel);
+        side.relation_by_id(id).len()
     }
 }
 
@@ -128,5 +230,48 @@ mod tests {
         assert_eq!(db.relation_len("U"), 0);
         assert_eq!(db.estimate_relation("T", &[None]), 1);
         assert_eq!(db.estimate_relation("U", &[None]), 0);
+    }
+
+    #[test]
+    fn resolved_tokens_stream_and_stop() {
+        let mut a = Instance::new();
+        for i in 0..5 {
+            a.add("S", vec![Value::int(i)]).unwrap();
+        }
+        let b = Instance::new();
+        let db = PairDb::new(&a, &b);
+        assert!(db.resolve("U").is_none());
+        let s = db.resolve("S").unwrap();
+        assert_eq!(db.len_rel(s), 5);
+        assert_eq!(db.estimate_rel(s, &[None]), 5);
+        assert!(db.any_match_rel(s, &[Some(Value::int(3))]));
+        let mut seen = 0;
+        db.scan_rel(s, &[None], &mut |_| {
+            seen += 1;
+            if seen == 2 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn second_side_tokens_decode() {
+        let a = Instance::new();
+        let mut b = Instance::new();
+        b.add("T", vec![Value::int(2), Value::int(3)]).unwrap();
+        let db = PairDb::new(&a, &b);
+        let t = db.resolve("T").unwrap();
+        assert_ne!(t.0 & SIDE_BIT, 0);
+        assert_eq!(db.len_rel(t), 1);
+        let mut hits = 0;
+        db.scan_rel(t, &[Some(Value::int(2)), None], &mut |tu| {
+            assert_eq!(tu.get(1), Some(&Value::int(3)));
+            hits += 1;
+            Control::Continue
+        });
+        assert_eq!(hits, 1);
     }
 }

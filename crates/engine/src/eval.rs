@@ -15,19 +15,37 @@
 //! ([`grom_data::Relation::estimate`]) and probes it through the instance's
 //! per-column indexes.
 //!
+//! Every entry point resolves the body's predicates to [`DbRel`] tokens
+//! **once** ([`Db::resolve`]) and streams tuples through
+//! [`Db::scan_rel`] — no per-probe name hashing and no per-scan `Vec`
+//! allocation.
+//!
 //! [`CmpOp::eval`]: grom_lang::CmpOp::eval
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use grom_lang::{Atom, Bindings, Literal, Term, Var};
 
-use crate::db::Db;
+use crate::db::{Db, DbRel};
 
-/// Flow control for streaming evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Control {
-    Continue,
-    Stop,
+pub use crate::db::Control;
+
+/// Predicate name → resolved token (`None` = the relation is absent, i.e.
+/// empty), computed once per evaluation. Databases are immutable for the
+/// duration of an evaluation call, so tokens cannot go stale mid-solve.
+type RelMap<'b> = BTreeMap<&'b str, Option<DbRel>>;
+
+fn resolve_body<'b>(db: &impl Db, body: &'b [Literal]) -> RelMap<'b> {
+    let mut rels = RelMap::new();
+    for lit in body {
+        let atom = match lit {
+            Literal::Pos(a) | Literal::Neg(a) => a,
+            Literal::Cmp(_) => continue,
+        };
+        rels.entry(atom.predicate.as_ref())
+            .or_insert_with(|| db.resolve(&atom.predicate));
+    }
+    rels
 }
 
 /// Evaluate `body` over `db`, starting from `seed` bindings, collecting all
@@ -51,6 +69,83 @@ pub fn has_match(db: &impl Db, body: &[Literal], seed: &Bindings) -> bool {
     found
 }
 
+/// Do `atoms` (a conjunction of positive atoms) embed into `db` under
+/// `seed`?
+///
+/// This is the restricted-chase satisfaction check for a disjunct's
+/// conclusion atoms, and it runs once per premise match of every
+/// dependency — the hottest query the chase issues. It skips the general
+/// evaluator's setup (no filters to order, no bindable-set, no seed
+/// clone): atoms whose pattern is fully bound under the seed are decided
+/// by a single index probe, and only the rest fall back to a recursive
+/// join.
+pub fn embed_atoms(db: &impl Db, atoms: &[grom_lang::Atom], seed: &Bindings) -> bool {
+    let mut pattern: Vec<Option<grom_data::Value>> = Vec::new();
+    let mut open: Vec<(&grom_lang::Atom, DbRel)> = Vec::new();
+    for atom in atoms {
+        let Some(rel) = db.resolve(&atom.predicate) else {
+            return false; // absent relation: nothing embeds
+        };
+        seed.atom_pattern_into(atom, &mut pattern);
+        if pattern.iter().all(Option::is_some) {
+            if !db.any_match_rel(rel, &pattern) {
+                return false;
+            }
+        } else {
+            open.push((atom, rel));
+        }
+    }
+    if open.is_empty() {
+        return true;
+    }
+    let mut bindings = seed.clone();
+    embed_open(db, &mut open, &mut bindings)
+}
+
+/// Recursive join over the not-fully-bound conclusion atoms: pick the atom
+/// with the smallest index estimate, scan it, bind, recurse.
+fn embed_open(
+    db: &impl Db,
+    open: &mut Vec<(&grom_lang::Atom, DbRel)>,
+    bindings: &mut Bindings,
+) -> bool {
+    if open.is_empty() {
+        return true;
+    }
+    let mut pattern: Vec<Option<grom_data::Value>> = Vec::new();
+    let mut best = 0;
+    if open.len() > 1 {
+        let mut best_estimate = usize::MAX;
+        for (i, (atom, rel)) in open.iter().enumerate() {
+            bindings.atom_pattern_into(atom, &mut pattern);
+            let e = db.estimate_rel(*rel, &pattern);
+            if e < best_estimate {
+                best_estimate = e;
+                best = i;
+            }
+        }
+    }
+    let (atom, rel) = open.swap_remove(best);
+    bindings.atom_pattern_into(atom, &mut pattern);
+    let mut found = false;
+    db.scan_rel(rel, &pattern, &mut |tuple| {
+        if let Some(bound_here) = bind_tuple(atom, tuple, bindings) {
+            found = embed_open(db, open, bindings);
+            for v in &bound_here {
+                bindings.unbind(v);
+            }
+            if found {
+                return Control::Stop;
+            }
+        }
+        Control::Continue
+    });
+    open.push((atom, rel));
+    let i = open.len() - 1;
+    open.swap(best, i);
+    found
+}
+
 /// Streaming evaluation: `visit` is called on every solution and may stop
 /// the enumeration early.
 pub fn evaluate_body_streaming(
@@ -69,9 +164,17 @@ pub fn evaluate_body_streaming(
         }
     }
 
+    let rels = resolve_body(db, body);
     let mut remaining: Vec<&Literal> = body.iter().collect();
     let mut bindings = seed.clone();
-    solve(db, &mut remaining, &mut bindings, &bindable, &mut visit);
+    solve(
+        db,
+        &mut remaining,
+        &mut bindings,
+        &rels,
+        &bindable,
+        &mut visit,
+    );
 }
 
 /// Delta-seeded (semi-naive) evaluation: enumerate solutions of `body` that
@@ -109,6 +212,7 @@ pub fn evaluate_body_from_delta(
         }
     }
 
+    let rels = resolve_body(db, body);
     let mut stale_skipped = 0;
     for anchor in 0..body.len() {
         let Literal::Pos(atom) = &body[anchor] else {
@@ -122,6 +226,7 @@ pub fn evaluate_body_from_delta(
             .enumerate()
             .filter_map(|(i, l)| (i != anchor).then_some(l))
             .collect();
+        let mut bindings = Bindings::new();
         for tuple in delta_tuples {
             if tuple.arity() != atom.args.len() {
                 // Stale delta from an arity-drifted relation: counted, not
@@ -129,13 +234,23 @@ pub fn evaluate_body_from_delta(
                 stale_skipped += 1;
                 continue;
             }
-            // Each delta tuple gets its own Bindings, so there is nothing
-            // to unwind after the solve.
-            let mut bindings = Bindings::new();
+            // One Bindings reused across delta tuples: cleared (keeping its
+            // allocation) instead of rebuilt, and there is nothing to
+            // unwind after the solve — the solve restores everything it
+            // binds beyond the anchor.
+            bindings.clear();
             if bind_tuple(atom, tuple, &mut bindings).is_none() {
                 continue;
             }
-            if solve(db, &mut remaining, &mut bindings, &bindable, &mut visit) == Control::Stop {
+            if solve(
+                db,
+                &mut remaining,
+                &mut bindings,
+                &rels,
+                &bindable,
+                &mut visit,
+            ) == Control::Stop
+            {
                 return stale_skipped;
             }
         }
@@ -156,13 +271,16 @@ fn filter_ready(lit: &Literal, bindings: &Bindings, bindable: &BTreeSet<Var>) ->
 }
 
 /// Run a ready filter literal. `true` = passes.
-fn run_filter(db: &impl Db, lit: &Literal, bindings: &Bindings) -> bool {
+fn run_filter(db: &impl Db, lit: &Literal, bindings: &Bindings, rels: &RelMap<'_>) -> bool {
     match lit {
         Literal::Cmp(c) => bindings.eval_comparison(c).unwrap_or(false),
         Literal::Neg(a) => {
-            let pattern = bindings.atom_pattern(a);
             // Absent relations are empty, so the negation holds.
-            !db.any_match_relation(&a.predicate, &pattern)
+            let Some(Some(rel)) = rels.get(a.predicate.as_ref()) else {
+                return true;
+            };
+            let pattern = bindings.atom_pattern(a);
+            !db.any_match_rel(*rel, &pattern)
         }
         Literal::Pos(_) => unreachable!("positive atoms are not filters"),
     }
@@ -207,6 +325,7 @@ fn solve(
     db: &impl Db,
     remaining: &mut Vec<&Literal>,
     bindings: &mut Bindings,
+    rels: &RelMap<'_>,
     bindable: &BTreeSet<Var>,
     visit: &mut impl FnMut(&Bindings) -> Control,
 ) -> Control {
@@ -220,8 +339,8 @@ fn solve(
         .position(|l| filter_ready(l, bindings, bindable))
     {
         let lit = remaining.remove(i);
-        let ctrl = if run_filter(db, lit, bindings) {
-            solve(db, remaining, bindings, bindable, visit)
+        let ctrl = if run_filter(db, lit, bindings, rels) {
+            solve(db, remaining, bindings, rels, bindable, visit)
         } else {
             Control::Continue
         };
@@ -232,22 +351,34 @@ fn solve(
     // 2. Pick the cheapest positive atom to expand, by index-based
     //    cardinality estimate under the current bindings (the smallest
     //    index bucket among bound columns, or the relation size when
-    //    nothing is bound yet).
-    let mut best: Option<(usize, usize)> = None; // (idx, estimate)
+    //    nothing is bound yet). Absent relations estimate to zero and
+    //    short-circuit the whole conjunction.
+    let mut best: Option<(usize, Option<DbRel>, usize)> = None; // (idx, token, estimate)
+    let mut scratch: Vec<Option<grom_data::Value>> = Vec::new();
     for (i, lit) in remaining.iter().enumerate() {
         if let Literal::Pos(a) = lit {
-            let pattern = bindings.atom_pattern(a);
-            let estimate = db.estimate_relation(&a.predicate, &pattern);
-            if best.is_none_or(|(_, be)| estimate < be) {
-                best = Some((i, estimate));
+            let rel = rels.get(a.predicate.as_ref()).copied().flatten();
+            let estimate = match rel {
+                Some(rel) => {
+                    bindings.atom_pattern_into(a, &mut scratch);
+                    db.estimate_rel(rel, &scratch)
+                }
+                None => 0,
+            };
+            if best.as_ref().is_none_or(|&(_, _, be)| estimate < be) {
+                best = Some((i, rel, estimate));
             }
         }
     }
 
-    let Some((i, _)) = best else {
+    let Some((i, rel, _)) = best else {
         // No positive atom and no ready filter: the body has an unsafe
         // comparison or negation over never-bound variables. Safety checks
         // upstream should prevent this; treat as no solution.
+        return Control::Continue;
+    };
+    let Some(rel) = rel else {
+        // The cheapest atom reads an absent (empty) relation: no solution.
         return Control::Continue;
     };
 
@@ -256,21 +387,22 @@ fn solve(
         Literal::Pos(a) => a,
         _ => unreachable!(),
     };
-    let ctrl = 'expand: {
-        let pattern = bindings.atom_pattern(atom);
-        for tuple in db.scan_relation(&atom.predicate, &pattern) {
-            if let Some(bound_here) = bind_tuple(atom, tuple, bindings) {
-                let ctrl = solve(db, remaining, bindings, bindable, visit);
-                for v in &bound_here {
-                    bindings.unbind(v);
-                }
-                if ctrl == Control::Stop {
-                    break 'expand Control::Stop;
-                }
+    bindings.atom_pattern_into(atom, &mut scratch);
+    let pattern = scratch;
+    let mut ctrl = Control::Continue;
+    db.scan_rel(rel, &pattern, &mut |tuple| {
+        if let Some(bound_here) = bind_tuple(atom, tuple, bindings) {
+            let c = solve(db, remaining, bindings, rels, bindable, visit);
+            for v in &bound_here {
+                bindings.unbind(v);
+            }
+            if c == Control::Stop {
+                ctrl = Control::Stop;
+                return Control::Stop;
             }
         }
         Control::Continue
-    };
+    });
     remaining.insert(i, lit);
     ctrl
 }

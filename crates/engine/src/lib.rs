@@ -26,9 +26,10 @@ pub mod materialize;
 pub mod query;
 pub mod satisfy;
 
-pub use db::{Db, PairDb};
+pub use db::{Db, DbRel, PairDb};
 pub use eval::{
-    evaluate_body, evaluate_body_from_delta, evaluate_body_streaming, has_match, Control,
+    embed_atoms, evaluate_body, evaluate_body_from_delta, evaluate_body_streaming, has_match,
+    Control,
 };
 pub use materialize::{
     materialize_views, materialize_views_tracked, MaterializeError, ViewMaterialization,

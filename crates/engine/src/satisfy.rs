@@ -14,10 +14,10 @@
 
 use std::fmt;
 
-use grom_lang::{Bindings, Dependency, Disjunct, Literal};
+use grom_lang::{Bindings, Dependency, Disjunct};
 
 use crate::db::Db;
-use crate::eval::{evaluate_body_streaming, has_match, Control};
+use crate::eval::{embed_atoms, evaluate_body_streaming, Control};
 
 /// A witness that a dependency is violated: the premise match for which no
 /// disjunct can be satisfied.
@@ -58,8 +58,7 @@ pub fn disjunct_satisfied(db: &impl Db, disjunct: &Disjunct, bindings: &Bindings
     if disjunct.atoms.is_empty() {
         return true;
     }
-    let body: Vec<Literal> = disjunct.atoms.iter().cloned().map(Literal::Pos).collect();
-    has_match(db, &body, bindings)
+    embed_atoms(db, &disjunct.atoms, bindings)
 }
 
 /// Is `disjunct` satisfied under `bindings` once every bound value is

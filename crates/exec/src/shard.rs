@@ -21,8 +21,8 @@
 
 use std::sync::Arc;
 
-use grom_data::{DataError, DeltaLog, Instance, Tuple, Value};
-use grom_engine::Db;
+use grom_data::{DataError, DeltaLog, Instance, RelId, Tuple, Value};
+use grom_engine::{Control, Db, DbRel};
 
 /// An instance snapshot plus a private write buffer, presented as one
 /// database.
@@ -97,27 +97,71 @@ impl<'a> ShardView<'a> {
     }
 }
 
+/// Token encoding for [`ShardView`]: the high 32 bits hold the snapshot's
+/// `RelId + 1` and the low 32 bits the buffer's `RelId + 1`, with 0 meaning
+/// "absent on that layer". At least one half is always set.
+fn encode(base: Option<RelId>, local: Option<RelId>) -> Option<DbRel> {
+    if base.is_none() && local.is_none() {
+        return None;
+    }
+    let hi = base.map_or(0, |RelId(i)| u64::from(i) + 1);
+    let lo = local.map_or(0, |RelId(i)| u64::from(i) + 1);
+    Some(DbRel((hi << 32) | lo))
+}
+
+fn decode(rel: DbRel) -> (Option<RelId>, Option<RelId>) {
+    let hi = (rel.0 >> 32) as u32;
+    let lo = rel.0 as u32;
+    (hi.checked_sub(1).map(RelId), lo.checked_sub(1).map(RelId))
+}
+
 impl Db for ShardView<'_> {
-    fn scan_relation<'b>(&'b self, relation: &str, pattern: &[Option<Value>]) -> Vec<&'b Tuple> {
+    fn resolve(&self, relation: &str) -> Option<DbRel> {
+        encode(self.base.rel_id(relation), self.local.rel_id(relation))
+    }
+
+    fn scan_rel<'b>(
+        &'b self,
+        rel: DbRel,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&'b Tuple) -> Control,
+    ) {
         // Snapshot rows first, then buffered rows: insertion order across
-        // the union, since everything in the buffer is newer.
-        let mut out = self.base.scan_relation(relation, pattern);
-        out.extend(self.local.scan_relation(relation, pattern));
-        out
+        // the union, since everything in the buffer is newer. The layers
+        // are disjoint by construction, so no deduplication is needed.
+        let (base, local) = decode(rel);
+        if let Some(id) = base {
+            if !self
+                .base
+                .relation_by_id(id)
+                .scan_each(pattern, &mut |t| visit(t) == Control::Continue)
+            {
+                return;
+            }
+        }
+        if let Some(id) = local {
+            self.local
+                .relation_by_id(id)
+                .scan_each(pattern, &mut |t| visit(t) == Control::Continue);
+        }
     }
 
-    fn estimate_relation(&self, relation: &str, pattern: &[Option<Value>]) -> usize {
-        self.base.estimate_relation(relation, pattern)
-            + self.local.estimate_relation(relation, pattern)
+    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize {
+        let (base, local) = decode(rel);
+        base.map_or(0, |id| self.base.relation_by_id(id).estimate(pattern))
+            + local.map_or(0, |id| self.local.relation_by_id(id).estimate(pattern))
     }
 
-    fn any_match_relation(&self, relation: &str, pattern: &[Option<Value>]) -> bool {
-        self.base.any_match_relation(relation, pattern)
-            || self.local.any_match_relation(relation, pattern)
+    fn any_match_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> bool {
+        let (base, local) = decode(rel);
+        base.is_some_and(|id| self.base.relation_by_id(id).any_match(pattern))
+            || local.is_some_and(|id| self.local.relation_by_id(id).any_match(pattern))
     }
 
-    fn relation_len(&self, relation: &str) -> usize {
-        self.base.relation_len(relation) + self.local.relation_len(relation)
+    fn len_rel(&self, rel: DbRel) -> usize {
+        let (base, local) = decode(rel);
+        base.map_or(0, |id| self.base.relation_by_id(id).len())
+            + local.map_or(0, |id| self.local.relation_by_id(id).len())
     }
 }
 
@@ -194,6 +238,44 @@ mod tests {
             vec![(Value::null(0), v(5)), (Value::null(1), Value::null(0)),]
         );
         assert!(view.take_obligations().is_empty());
+    }
+
+    #[test]
+    fn streaming_union_stops_early_without_allocating() {
+        let mut base = Instance::new();
+        for i in 0..5 {
+            base.add("R", vec![v(i)]).unwrap();
+        }
+        let mut view = ShardView::new(&base);
+        for i in 5..10 {
+            view.insert(&rel("R"), Tuple::new(vec![v(i)])).unwrap();
+        }
+        let r = view.resolve("R").unwrap();
+        assert_eq!(view.len_rel(r), 10);
+        // Early stop inside the base layer never reaches the buffer.
+        let mut seen = Vec::new();
+        view.scan_rel(r, &[None], &mut |t| {
+            seen.push(t.get(0).unwrap().as_int().unwrap());
+            if seen.len() == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+        // A full streaming scan sees base rows then buffer rows.
+        let mut all = Vec::new();
+        view.scan_rel(r, &[None], &mut |t| {
+            all.push(t.get(0).unwrap().as_int().unwrap());
+            Control::Continue
+        });
+        assert_eq!(all, (0..10).collect::<Vec<i64>>());
+        // Buffer-only relations resolve with an empty base half.
+        view.insert(&rel("S"), Tuple::new(vec![v(42)])).unwrap();
+        let s = view.resolve("S").unwrap();
+        assert_eq!(view.len_rel(s), 1);
+        assert!(view.any_match_rel(s, &[Some(v(42))]));
+        assert!(view.resolve("Absent").is_none());
     }
 
     #[test]

@@ -95,9 +95,16 @@ impl fmt::Display for TermSubst {
 
 /// A runtime environment `var → value`, produced by evaluating a premise
 /// over an instance.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Backed by a `Vec` kept sorted by variable name: premise matches bind a
+/// handful of variables, and at that size a sorted vector beats a tree map
+/// on every operation the join's inner loop performs (bind, unbind, get) —
+/// no per-entry node allocation, one contiguous block to clone. Iteration
+/// is in variable order, exactly as with the previous `BTreeMap` backing,
+/// so renderings and dedup keys are unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Bindings {
-    map: BTreeMap<Var, Value>,
+    map: Vec<(Var, Value)>,
 }
 
 impl Bindings {
@@ -105,20 +112,44 @@ impl Bindings {
         Self::default()
     }
 
+    /// Index of `var`, or the insertion point keeping `map` sorted. Linear
+    /// scan: bindings are tiny and the early-exit comparison is the same
+    /// one a binary search would do, without the branching.
+    fn position(&self, var: &Var) -> Result<usize, usize> {
+        for (i, (v, _)) in self.map.iter().enumerate() {
+            match v.as_ref().cmp(var.as_ref()) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => return Ok(i),
+                std::cmp::Ordering::Greater => return Err(i),
+            }
+        }
+        Err(self.map.len())
+    }
+
     pub fn bind(&mut self, var: Var, value: Value) {
-        self.map.insert(var, value);
+        match self.position(&var) {
+            Ok(i) => self.map[i].1 = value,
+            Err(i) => self.map.insert(i, (var, value)),
+        }
     }
 
     pub fn get(&self, var: &Var) -> Option<&Value> {
-        self.map.get(var)
+        self.position(var).ok().map(|i| &self.map[i].1)
     }
 
     pub fn contains(&self, var: &Var) -> bool {
-        self.map.contains_key(var)
+        self.position(var).is_ok()
     }
 
     pub fn unbind(&mut self, var: &Var) {
-        self.map.remove(var);
+        if let Ok(i) = self.position(var) {
+            self.map.remove(i);
+        }
+    }
+
+    /// Drop every binding, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 
     pub fn len(&self) -> usize {
@@ -130,14 +161,14 @@ impl Bindings {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&Var, &Value)> {
-        self.map.iter()
+        self.map.iter().map(|(v, t)| (v, t))
     }
 
     /// Evaluate a term to a value under these bindings. `None` if the term
     /// is an unbound variable.
     pub fn eval_term(&self, term: &Term) -> Option<Value> {
         match term {
-            Term::Var(v) => self.map.get(v).cloned(),
+            Term::Var(v) => self.get(v).cloned(),
             Term::Const(c) => Some(c.clone()),
         }
     }
@@ -154,6 +185,13 @@ impl Bindings {
     /// `Some(value)`, unbound variables become `None`.
     pub fn atom_pattern(&self, atom: &Atom) -> Vec<Option<Value>> {
         atom.args.iter().map(|t| self.eval_term(t)).collect()
+    }
+
+    /// [`Bindings::atom_pattern`] into a caller-owned buffer, so hot loops
+    /// can reuse one allocation across probes.
+    pub fn atom_pattern_into(&self, atom: &Atom, buf: &mut Vec<Option<Value>>) {
+        buf.clear();
+        buf.extend(atom.args.iter().map(|t| self.eval_term(t)));
     }
 }
 
