@@ -390,6 +390,26 @@ fn e7d() -> Table {
             ms_f(delta_ms),
             delta.instance.len() as u64,
         );
+        // Profile counters as zero-wall rows: visible in BENCH artifacts,
+        // never gated on (sub-noise-floor by construction).
+        record(
+            format!("e7d/stats/width={width}/delta_acts"),
+            0.0,
+            delta.profile.total_delta_activations(),
+        );
+        record(
+            format!("e7d/stats/width={width}/full_rescans"),
+            0.0,
+            delta.profile.total_full_rescans(),
+        );
+        record(
+            format!("e7d/stats/width={width}/delta_hit_pct"),
+            0.0,
+            delta
+                .profile
+                .delta_hit_rate()
+                .map_or(0, |r| (100.0 * r).round() as u64),
+        );
         let speedup = naive_ms.as_secs_f64() / delta_ms.as_secs_f64().max(1e-9);
         t.row(vec![
             width.to_string(),
@@ -530,6 +550,24 @@ fn e9() -> Table {
             format!("e9/stats/clusters={clusters}/obligations_batched"),
             0.0,
             batched.stats.obligations_batched as u64,
+        );
+        record(
+            format!("e9/stats/clusters={clusters}/delta_acts"),
+            0.0,
+            batched.profile.total_delta_activations(),
+        );
+        record(
+            format!("e9/stats/clusters={clusters}/full_rescans"),
+            0.0,
+            batched.profile.total_full_rescans(),
+        );
+        record(
+            format!("e9/stats/clusters={clusters}/delta_hit_pct"),
+            0.0,
+            batched
+                .profile
+                .delta_hit_rate()
+                .map_or(0, |r| (100.0 * r).round() as u64),
         );
         let speedup = naive_ms.as_secs_f64() / batched_ms.as_secs_f64().max(1e-9);
         t.row(vec![

@@ -1,5 +1,7 @@
 //! Chase configuration.
 
+use grom_trace::TraceHandle;
+
 /// How the standard chase schedules premise evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerMode {
@@ -79,6 +81,10 @@ pub struct ChaseConfig {
     /// Premise scheduling strategy for the standard chase (and therefore for
     /// every ded-chase scenario and exhaustive-chase node closure).
     pub scheduler: SchedulerMode,
+    /// Event sink for the trace layer. Empty by default — per-dependency
+    /// profiling is always on (see [`grom_trace::ChaseProfile`]), but JSONL
+    /// events are only assembled and emitted when a sink is attached here.
+    pub trace: TraceHandle,
 }
 
 impl Default for ChaseConfig {
@@ -89,6 +95,7 @@ impl Default for ChaseConfig {
             max_nodes: 1_000_000,
             max_steps_per_branch: 1_000_000,
             scheduler: SchedulerMode::default(),
+            trace: TraceHandle::none(),
         }
     }
 }
@@ -121,6 +128,13 @@ impl ChaseConfig {
     /// the parallel executor, anything less the sequential delta scheduler.
     pub fn with_threads(self, threads: usize) -> Self {
         self.with_scheduler(SchedulerMode::with_threads(threads))
+    }
+
+    /// Attach an event sink; the chase streams one JSONL event per
+    /// activation / merge / sweep into it.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 }
 

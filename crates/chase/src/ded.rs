@@ -23,6 +23,7 @@
 
 use grom_data::{Instance, NullGenerator};
 use grom_lang::{Bindings, Dependency};
+use grom_trace::ChaseProfile;
 
 use grom_engine::{disjunct_satisfied, evaluate_body_streaming, Control};
 
@@ -38,6 +39,9 @@ use crate::standard::{apply_disjunct, chase_standard, check_executable};
 pub struct ExhaustiveResult {
     pub solutions: Vec<Instance>,
     pub stats: ChaseStats,
+    /// Per-dependency profile folded across every node closure (merged by
+    /// dependency name — see [`ChaseProfile::absorb`]).
+    pub profile: ChaseProfile,
 }
 
 /// Split a dependency set into standard dependencies and deds.
@@ -275,6 +279,7 @@ pub fn chase_exhaustive(
     let (standard, deds) = split(deps);
 
     let mut stats = ChaseStats::default();
+    let mut profile = ChaseProfile::default();
     let mut solutions = Vec::new();
     let mut stack: Vec<Instance> = vec![start];
 
@@ -290,6 +295,7 @@ pub fn chase_exhaustive(
         let inst = match chase_standard(inst, &standard, config) {
             Ok(res) => {
                 stats.absorb(&res.stats);
+                profile.absorb(&res.profile);
                 res.instance
             }
             Err(ChaseError::Failure { .. }) => {
@@ -343,7 +349,11 @@ pub fn chase_exhaustive(
             branches_failed: stats.branches_failed,
         });
     }
-    Ok(ExhaustiveResult { solutions, stats })
+    Ok(ExhaustiveResult {
+        solutions,
+        stats,
+        profile,
+    })
 }
 
 #[cfg(test)]

@@ -60,3 +60,10 @@ pub use scheduler::Scheduler;
 pub use standard::{chase_standard, chase_standard_full_rescan};
 pub use trigger::TriggerIndex;
 pub use wa::{is_weakly_acyclic, WeakAcyclicityReport};
+
+// Re-exported so chase callers can attach sinks and read profiles without
+// depending on `grom-trace` directly.
+pub use grom_trace::{
+    render_report, ChaseProfile, DepProfile, GroupProfile, JsonlSink, MemorySink, ReportOptions,
+    TraceHandle, TraceSink,
+};

@@ -55,9 +55,11 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use grom_data::{DeltaLog, Instance, NullGenerator, StridedNullGenerator, Value};
 use grom_lang::{Bindings, Dependency, Term, Var};
+use grom_trace::{ActivationKind, ActivationRecord, Recorder, WorkerRecorder};
 
 use grom_engine::{disjunct_satisfied, disjunct_satisfied_resolved, find_violation};
 use grom_exec::{ShardView, WorkerPool};
@@ -73,6 +75,8 @@ use crate::trigger::TriggerIndex;
 /// One worker job: the claimed worklist entries of one conflict group
 /// within one sweep, in dependency order.
 struct GroupJob {
+    /// The conflict-group index, for per-group utilization accounting.
+    group: usize,
     work: Vec<(usize, Pending)>,
 }
 
@@ -99,6 +103,12 @@ struct GroupOutcome {
     deferred: Vec<usize>,
     /// Partial counters (rounds stay zero; the coordinator owns them).
     stats: ChaseStats,
+    /// The job's conflict-group index, echoed back for the profile.
+    group: usize,
+    /// The worker-local activation records, folded into the run [`Recorder`]
+    /// at the barrier in job order — so the profile (and the event stream)
+    /// is deterministic under any thread schedule.
+    trace: WorkerRecorder,
     /// Largest null label drawn from the job's strided range, if any.
     max_null: Option<u64>,
     /// Denial / comparison failure, tagged with its dependency index so
@@ -224,6 +234,7 @@ fn run_group_job(
     let mut obligations: Vec<(usize, Value, Value)> = Vec::new();
     let mut deferred: Vec<usize> = Vec::new();
     let mut stats = ChaseStats::default();
+    let mut trace = WorkerRecorder::new();
 
     for slot in 0..job.work.len() {
         let (k, pending) = std::mem::replace(&mut job.work[slot], (0, Pending::Idle));
@@ -236,8 +247,12 @@ fn run_group_job(
             deferred.push(k);
             continue;
         }
+        let t0 = Instant::now();
+        let tuples0 = stats.tuples_inserted;
+        let obligations0 = stats.obligations_batched;
+        let dedup0 = view.dedup_hits();
         let mut failure: Option<ChaseError> = None;
-        let violations = match pending {
+        let (kind, seeded, violations) = match pending {
             Pending::Idle => continue,
             Pending::Full => {
                 stats.full_rescans += 1;
@@ -248,14 +263,15 @@ fn run_group_job(
                             detail: format!("denial premise matched at {}", v.bindings),
                         });
                     }
-                    Vec::new()
+                    (ActivationKind::Full, 0, Vec::new())
                 } else {
-                    collect_violations(&view, dep)
+                    (ActivationKind::Full, 0, collect_violations(&view, dep))
                 }
             }
             Pending::Delta(map) => {
                 stats.delta_activations += 1;
-                stats.delta_tuples_seeded += map.values().map(Vec::len).sum::<usize>();
+                let seeded = map.values().map(Vec::len).sum::<usize>();
+                stats.delta_tuples_seeded += seeded;
                 let vs = delta_violations(&view, dep, &map, dep.is_denial(), &mut stats);
                 if dep.is_denial() {
                     if let Some(b) = vs.first() {
@@ -264,9 +280,9 @@ fn run_group_job(
                             detail: format!("denial premise matched at {b}"),
                         });
                     }
-                    Vec::new()
+                    (ActivationKind::Delta, seeded as u64, Vec::new())
                 } else {
-                    vs
+                    (ActivationKind::Delta, seeded as u64, vs)
                 }
             }
         };
@@ -299,6 +315,16 @@ fn run_group_job(
         for (l, r) in view.take_obligations() {
             obligations.push((k, l, r));
         }
+        trace.record(ActivationRecord {
+            dep: k,
+            kind,
+            seeded,
+            violations: violations.len() as u64,
+            tuples: (stats.tuples_inserted - tuples0) as u64,
+            obligations: (stats.obligations_batched - obligations0) as u64,
+            dedup_hits: view.dedup_hits() - dedup0,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        });
         if let Some(e) = failure {
             return GroupOutcome {
                 delta: DeltaLog::default(),
@@ -306,6 +332,8 @@ fn run_group_job(
                 obligations,
                 deferred: Vec::new(),
                 stats,
+                group: job.group,
+                trace,
                 max_null: nulls.max_allocated(),
                 failure: Some((k, e)),
             };
@@ -342,6 +370,8 @@ fn run_group_job(
         obligations,
         deferred,
         stats,
+        group: job.group,
+        trace,
         max_null: nulls.max_allocated(),
         failure: None,
     }
@@ -368,6 +398,10 @@ pub(crate) fn chase_standard_parallel(
     let mut sched = Scheduler::new(deps);
     let partition = Partition::build(deps, sched.triggers());
     let pool = WorkerPool::new(threads);
+    let names: Vec<String> = deps.iter().map(|d| d.name.to_string()).collect();
+    let mut rec = Recorder::new(&names, &format!("parallel{threads}"), &config.trace);
+    let groups: Vec<usize> = (0..deps.len()).map(|k| partition.group_of(k)).collect();
+    rec.set_groups(&groups);
     inst.begin_delta_tracking();
 
     loop {
@@ -377,6 +411,7 @@ pub(crate) fn chase_standard_parallel(
             });
         }
         stats.rounds += 1;
+        let sweep = stats.rounds as u64;
         if !sched.has_work() {
             break;
         }
@@ -386,9 +421,13 @@ pub(crate) fn chase_standard_parallel(
         let mut buckets: BTreeMap<usize, GroupJob> = BTreeMap::new();
         for k in 0..deps.len() {
             let pending = sched.take(k);
+            let g = partition.group_of(k);
             buckets
-                .entry(partition.group_of(k))
-                .or_insert_with(|| GroupJob { work: Vec::new() })
+                .entry(g)
+                .or_insert_with(|| GroupJob {
+                    group: g,
+                    work: Vec::new(),
+                })
                 .work
                 .push((k, pending));
         }
@@ -408,18 +447,23 @@ pub(crate) fn chase_standard_parallel(
         let triggers = sched.triggers();
         let snapshot: &Instance = &inst;
         let frozen_nulls: &NullMap = &nullmap;
-        let outcomes = pool.run(jobs, |j, job| {
+        let t_eval = Instant::now();
+        let outcomes = pool.run_timed(jobs, |j, job| {
             let nulls = StridedNullGenerator::new(base_label, j as u64, stride);
             run_group_job(snapshot, deps, triggers, frozen_nulls, job, nulls)
         });
+        let evaluate_ns = t_eval.elapsed().as_nanos() as u64;
+        let t_merge = Instant::now();
 
         // Barrier, step 1 — unify the merged obligation sets on the
         // run-level null map: concatenate in job order, stable-sort by
         // declaration index (each dependency lives in exactly one job, so
         // per-dependency collection order is preserved), then unify.
         // Constant clashes surface here, deterministically.
-        let mut obligations: Vec<&(usize, Value, Value)> =
-            outcomes.iter().flat_map(|o| o.obligations.iter()).collect();
+        let mut obligations: Vec<&(usize, Value, Value)> = outcomes
+            .iter()
+            .flat_map(|(o, _)| o.obligations.iter())
+            .collect();
         obligations.sort_by_key(|(k, _, _)| *k);
         let mut any_merge = false;
         let mut clash: Option<(usize, ChaseError)> = None;
@@ -442,7 +486,7 @@ pub(crate) fn chase_standard_parallel(
         // from the unification), mirroring declaration order.
         let worker_failure = outcomes
             .iter()
-            .filter_map(|o| o.failure.as_ref())
+            .filter_map(|(o, _)| o.failure.as_ref())
             .min_by_key(|(fk, _)| *fk);
         let failure = match (worker_failure, clash) {
             (Some((wk, we)), Some((ck, ce))) => Some(if *wk <= ck { we.clone() } else { ce }),
@@ -457,10 +501,14 @@ pub(crate) fn chase_standard_parallel(
         // Barrier, step 3 — merge buffers into the master in job order
         // and route the merged deltas. Tracking is suspended for the
         // merge: the group logs already carry every inserted tuple, so
-        // they are routed directly instead of being re-logged.
+        // they are routed directly instead of being re-logged. Worker
+        // trace buffers fold into the run recorder here, in job order, so
+        // the profile is thread-schedule-independent.
         inst.end_delta_tracking();
-        for o in &outcomes {
+        for (o, busy) in outcomes {
             stats.absorb(&o.stats);
+            rec.group_job(o.group, busy.as_nanos() as u64);
+            rec.merge_worker(sweep, o.trace);
             if let Some(m) = o.max_null {
                 nullgen.advance_to(m + 1);
             }
@@ -472,12 +520,21 @@ pub(crate) fn chase_standard_parallel(
                 sched.reschedule_full(k);
             }
         }
+        let merge_ns = t_merge.elapsed().as_nanos() as u64;
 
         // Barrier, step 4 — one combined substitution pass and one
         // targeted invalidation for the whole sweep, if anything merged.
         if any_merge {
-            apply_sweep_merges(&mut inst, &mut nullmap, &mut sched, &mut stats);
+            apply_sweep_merges(
+                &mut inst,
+                &mut nullmap,
+                &mut sched,
+                &mut stats,
+                &mut rec,
+                sweep,
+            );
         }
+        rec.end_sweep(sweep, Some(evaluate_ns), merge_ns);
         inst.begin_delta_tracking();
     }
 
@@ -485,6 +542,7 @@ pub(crate) fn chase_standard_parallel(
     Ok(ChaseResult {
         instance: inst,
         stats,
+        profile: rec.finish(),
     })
 }
 

@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use grom_data::{DataError, Instance, Value};
+use grom_trace::ChaseProfile;
 
 /// Counters describing a chase run. Experiments E4/E5/E7 report these.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -79,8 +80,9 @@ impl fmt::Display for ChaseStats {
         write!(
             f,
             "rounds={} tgd_apps={} inserted={} nulls={} merges={} \
-             scenarios={}(failed {}) nodes={} leaves={} \
-             rescans={} delta_acts={} subst_passes={} obligations={}",
+             scenarios={}(failed {}) nodes={} leaves={} branches_failed={} \
+             rescans={} delta_acts={} delta_seeded={} stale_skipped={} \
+             subst_passes={} obligations={}",
             self.rounds,
             self.tgd_applications,
             self.tuples_inserted,
@@ -90,8 +92,11 @@ impl fmt::Display for ChaseStats {
             self.scenarios_failed,
             self.nodes_expanded,
             self.leaves,
+            self.branches_failed,
             self.full_rescans,
             self.delta_activations,
+            self.delta_tuples_seeded,
+            self.stale_delta_skipped,
             self.substitution_passes,
             self.obligations_batched
         )
@@ -99,11 +104,14 @@ impl fmt::Display for ChaseStats {
 }
 
 /// A successful chase: the chased instance (source relations plus the
-/// generated target relations) and run statistics.
+/// generated target relations), run statistics, and the per-dependency
+/// profile (wall times, activation splits, delta-hit rates — see
+/// [`grom_trace::ChaseProfile`]).
 #[derive(Debug, Clone)]
 pub struct ChaseResult {
     pub instance: Instance,
     pub stats: ChaseStats,
+    pub profile: ChaseProfile,
 }
 
 /// Chase failure modes.
@@ -205,6 +213,20 @@ mod tests {
         assert_eq!(a.stale_delta_skipped, 5);
         assert_eq!(a.substitution_passes, 1);
         assert_eq!(a.obligations_batched, 6);
+    }
+
+    #[test]
+    fn stats_display_covers_every_counter() {
+        let s = ChaseStats {
+            branches_failed: 7,
+            delta_tuples_seeded: 8,
+            stale_delta_skipped: 9,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("branches_failed=7"), "{text}");
+        assert!(text.contains("delta_seeded=8"), "{text}");
+        assert!(text.contains("stale_skipped=9"), "{text}");
     }
 
     #[test]

@@ -61,9 +61,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 use grom_data::{DeltaLog, Instance, NullGenerator, Tuple};
 use grom_lang::{Bindings, Dependency};
+use grom_trace::{ActivationKind, ActivationRecord, Recorder};
 
 use grom_engine::{
     disjunct_satisfied, disjunct_satisfied_resolved, evaluate_body_from_delta, Control, Db,
@@ -264,6 +266,7 @@ pub(crate) fn delta_violations(
 ///
 /// The worker-side twin is `run_group_job` in [`crate::parallel`] — keep
 /// the claim/evaluate/denial structure of the two in sync.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_dep_sequential(
     inst: &mut Instance,
     deps: &[Dependency],
@@ -272,10 +275,19 @@ pub(crate) fn run_dep_sequential(
     nullmap: &mut NullMap,
     nullgen: &mut NullGenerator,
     stats: &mut ChaseStats,
+    rec: &mut Recorder,
+    sweep: u64,
 ) -> Result<bool, ChaseError> {
     let dep = &deps[k];
-    let violations = match sched.take(k) {
-        Pending::Idle => return Ok(false),
+    let pending = sched.take(k);
+    if matches!(pending, Pending::Idle) {
+        return Ok(false);
+    }
+    let t0 = Instant::now();
+    let tuples0 = stats.tuples_inserted;
+    let obligations0 = stats.obligations_batched;
+    let (kind, seeded, violations) = match pending {
+        Pending::Idle => unreachable!("handled above"),
         Pending::Full => {
             stats.full_rescans += 1;
             if dep.is_denial() {
@@ -285,13 +297,15 @@ pub(crate) fn run_dep_sequential(
                         detail: format!("denial premise matched at {}", v.bindings),
                     });
                 }
-                return Ok(false);
+                (ActivationKind::Full, 0, Vec::new())
+            } else {
+                (ActivationKind::Full, 0, collect_violations(inst, dep))
             }
-            collect_violations(inst, dep)
         }
         Pending::Delta(map) => {
             stats.delta_activations += 1;
-            stats.delta_tuples_seeded += map.values().map(Vec::len).sum::<usize>();
+            let seeded = map.values().map(Vec::len).sum::<usize>();
+            stats.delta_tuples_seeded += seeded;
             let vs = delta_violations(inst, dep, &map, dep.is_denial(), stats);
             if dep.is_denial() {
                 if let Some(b) = vs.first() {
@@ -300,14 +314,12 @@ pub(crate) fn run_dep_sequential(
                         detail: format!("denial premise matched at {b}"),
                     });
                 }
-                return Ok(false);
+                (ActivationKind::Delta, seeded as u64, Vec::new())
+            } else {
+                (ActivationKind::Delta, seeded as u64, vs)
             }
-            vs
         }
     };
-    if violations.is_empty() {
-        return Ok(false);
-    }
 
     let mut any_merge = false;
     for b in &violations {
@@ -339,6 +351,19 @@ pub(crate) fn run_dep_sequential(
         // relation Full, subsuming any stale tuples routed here.
         sched.post(&log);
     }
+    rec.activation(
+        sweep,
+        &ActivationRecord {
+            dep: k,
+            kind,
+            seeded,
+            violations: violations.len() as u64,
+            tuples: (stats.tuples_inserted - tuples0) as u64,
+            obligations: (stats.obligations_batched - obligations0) as u64,
+            dedup_hits: 0,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        },
+    );
     Ok(any_merge)
 }
 
@@ -367,12 +392,21 @@ pub(crate) fn apply_sweep_merges(
     nullmap: &mut NullMap,
     sched: &mut Scheduler,
     stats: &mut ChaseStats,
+    rec: &mut Recorder,
+    sweep: u64,
 ) {
+    let t0 = Instant::now();
     let map = nullmap.flatten();
     let changed = inst.substitute_nulls_batch(&map);
     inst.take_delta(); // discard the invalidation marker, if tracking
     stats.substitution_passes += 1;
     sched.invalidate_readers(&changed);
+    rec.substitution(
+        sweep,
+        map.len(),
+        changed.len(),
+        t0.elapsed().as_nanos() as u64,
+    );
 }
 
 /// The delta-driven standard chase: same semantics and failure modes as
@@ -392,6 +426,8 @@ pub(crate) fn chase_standard_delta(
     let mut nullgen = NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
     let mut nullmap = NullMap::new();
     let mut sched = Scheduler::new(deps);
+    let names: Vec<String> = deps.iter().map(|d| d.name.to_string()).collect();
+    let mut rec = Recorder::new(&names, "delta", &config.trace);
     inst.begin_delta_tracking();
 
     loop {
@@ -401,6 +437,7 @@ pub(crate) fn chase_standard_delta(
             });
         }
         stats.rounds += 1;
+        let sweep = stats.rounds as u64;
         if !sched.has_work() {
             break;
         }
@@ -415,7 +452,14 @@ pub(crate) fn chase_standard_delta(
             // obligation-recording dependencies — the egd-heavy case —
             // still share one combined pass.
             if sweep_merged && concludes_atoms(&deps[k]) && sched.has_pending(k) {
-                apply_sweep_merges(&mut inst, &mut nullmap, &mut sched, &mut stats);
+                apply_sweep_merges(
+                    &mut inst,
+                    &mut nullmap,
+                    &mut sched,
+                    &mut stats,
+                    &mut rec,
+                    sweep,
+                );
                 sweep_merged = false;
             }
             sweep_merged |= run_dep_sequential(
@@ -426,19 +470,30 @@ pub(crate) fn chase_standard_delta(
                 &mut nullmap,
                 &mut nullgen,
                 &mut stats,
+                &mut rec,
+                sweep,
             )?;
         }
         if sweep_merged {
             // One combined substitution pass for the sweep's remaining
             // obligations, however many dependencies recorded them.
-            apply_sweep_merges(&mut inst, &mut nullmap, &mut sched, &mut stats);
+            apply_sweep_merges(
+                &mut inst,
+                &mut nullmap,
+                &mut sched,
+                &mut stats,
+                &mut rec,
+                sweep,
+            );
         }
+        rec.end_sweep(sweep, None, 0);
     }
 
     inst.end_delta_tracking();
     Ok(ChaseResult {
         instance: inst,
         stats,
+        profile: rec.finish(),
     })
 }
 

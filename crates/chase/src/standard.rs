@@ -19,8 +19,11 @@
 //! sense of Fagin–Kolaitis–Miller–Popa; termination for arbitrary programs
 //! is enforced by the round budget.
 
+use std::time::Instant;
+
 use grom_data::{Instance, NullGenerator, Value};
 use grom_lang::{Bindings, Dependency, Term, Var};
+use grom_trace::{ActivationKind, ActivationRecord, Recorder};
 
 use grom_engine::{disjunct_satisfied, evaluate_body_streaming, Control, Db};
 
@@ -214,6 +217,8 @@ pub fn chase_standard_full_rescan(
     let mut stats = ChaseStats::default();
     let mut nullgen = NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
     let mut nullmap = NullMap::new();
+    let names: Vec<String> = deps.iter().map(|d| d.name.to_string()).collect();
+    let mut rec = Recorder::new(&names, "full_rescan", &config.trace);
 
     loop {
         if stats.rounds >= config.max_rounds {
@@ -222,9 +227,13 @@ pub fn chase_standard_full_rescan(
             });
         }
         stats.rounds += 1;
+        let sweep = stats.rounds as u64;
         let mut progressed = false;
 
-        for dep in deps {
+        for (k, dep) in deps.iter().enumerate() {
+            let t0 = Instant::now();
+            let tuples0 = stats.tuples_inserted;
+            let obligations0 = stats.obligations_batched;
             if dep.is_denial() {
                 if let Some(v) = grom_engine::find_violation(&inst, dep) {
                     return Err(ChaseError::Failure {
@@ -232,14 +241,24 @@ pub fn chase_standard_full_rescan(
                         detail: format!("denial premise matched at {}", v.bindings),
                     });
                 }
+                rec.activation(
+                    sweep,
+                    &ActivationRecord {
+                        dep: k,
+                        kind: ActivationKind::Full,
+                        seeded: 0,
+                        violations: 0,
+                        tuples: 0,
+                        obligations: 0,
+                        dedup_hits: 0,
+                        wall_ns: t0.elapsed().as_nanos() as u64,
+                    },
+                );
                 continue;
             }
             // `check_executable` guarantees exactly one disjunct here; a
             // trivially-true empty disjunct has no violations by definition.
             let violations = collect_violations(&inst, dep);
-            if violations.is_empty() {
-                continue;
-            }
             let mut any_merge = false;
             for b in &violations {
                 let b = resolve_bindings(b, &mut nullmap);
@@ -263,11 +282,27 @@ pub fn chase_standard_full_rescan(
                 any_merge |= merged;
                 progressed = true;
             }
+            rec.activation(
+                sweep,
+                &ActivationRecord {
+                    dep: k,
+                    kind: ActivationKind::Full,
+                    seeded: 0,
+                    violations: violations.len() as u64,
+                    tuples: (stats.tuples_inserted - tuples0) as u64,
+                    obligations: (stats.obligations_batched - obligations0) as u64,
+                    dedup_hits: 0,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                },
+            );
             if any_merge {
-                inst.substitute_nulls(|id| nullmap.lookup(id));
+                let ts = Instant::now();
+                let changed = inst.substitute_nulls(|id| nullmap.lookup(id));
                 stats.substitution_passes += 1;
+                rec.substitution(sweep, 0, changed.len(), ts.elapsed().as_nanos() as u64);
             }
         }
+        rec.end_sweep(sweep, None, 0);
 
         if !progressed {
             break;
@@ -277,6 +312,7 @@ pub fn chase_standard_full_rescan(
     Ok(ChaseResult {
         instance: inst,
         stats,
+        profile: rec.finish(),
     })
 }
 

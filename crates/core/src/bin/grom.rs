@@ -5,7 +5,9 @@
 //! grom rewrite  <scenario.grom>                      print the rewritten program
 //! grom analyze  <scenario.grom>                      restriction report (problematic views)
 //! grom run      <scenario.grom> [data.facts]         full pipeline; prints J_T
-//!               [--core] [--no-validate] [--quiet] [--threads N]
+//!               [--core] [--no-validate] [--quiet] [--threads N] [--trace out.jsonl]
+//! grom explain  <scenario.grom|corpus-entry|corpus>  chase + dominance report
+//!               [data.facts] [--threads N] [--top N] [--slowest N] [--trace out.jsonl]
 //! grom validate <scenario.grom> <source.facts> <target.facts>
 //!                                                    check an existing solution
 //! grom corpus   <gen|record|verify|fuzz|list> ...    conformance-corpus tooling
@@ -14,6 +16,10 @@
 //! Scenario files use the language documented in `grom_lang::parser`; data
 //! files are fact-per-line (`grom_data::io`). A scenario's inline `fact`s
 //! are always loaded; a data file adds to them.
+//!
+//! `run` and `explain` stream a JSONL chase trace when `--trace <path>` is
+//! given (or the `GROM_TRACE` environment variable is set) — one event per
+//! activation, merge and sweep; see the README's Observability section.
 
 use std::process::ExitCode;
 
@@ -23,7 +29,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  grom rewrite  <scenario.grom>\n  grom analyze  <scenario.grom>\n  \
          grom run      <scenario.grom> [data.facts] [--core] [--no-validate] [--quiet] \
-         [--threads N]\n  \
+         [--threads N] [--trace out.jsonl]\n  \
+         grom explain  <scenario.grom|corpus-entry|corpus> [data.facts] [--threads N] \
+         [--top N] [--slowest N] [--trace out.jsonl]\n  \
          grom validate <scenario.grom> <source.facts> <target.facts>\n  \
          grom corpus   gen    --name <entry> --spec \"<spec>\" [--dir corpus]\n  \
          grom corpus   record [--dir corpus] [entry...]\n  \
@@ -76,6 +84,22 @@ fn load_facts(path: &str) -> Result<Instance, String> {
     grom::data::read_instance(&text).map_err(|e| describe_data_error(path, &e))
 }
 
+/// Resolve the trace destination: the `--trace` flag wins, then the
+/// `GROM_TRACE` environment variable; neither yields the no-op handle.
+fn open_trace(flag: Option<&str>) -> Result<TraceHandle, String> {
+    let path = flag
+        .map(str::to_string)
+        .or_else(|| std::env::var("GROM_TRACE").ok());
+    match path.as_deref() {
+        Some(p) if !p.is_empty() => {
+            let sink = grom::trace::JsonlSink::create(std::path::Path::new(p))
+                .map_err(|e| format!("cannot create trace file `{p}`: {e}"))?;
+            Ok(TraceHandle::new(std::sync::Arc::new(sink)))
+        }
+        _ => Ok(TraceHandle::none()),
+    }
+}
+
 fn cmd_rewrite(path: &str) -> ExitCode {
     let (scenario, _) = match load_scenario(path) {
         Ok(s) => s,
@@ -122,6 +146,7 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
     let mut no_validate = false;
     let mut quiet = false;
     let mut threads: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -132,6 +157,12 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
                 threads = match args.next().and_then(|v| v.parse().ok()) {
                     Some(n) => Some(n),
                     None => return fail("--threads requires a positive integer"),
+                };
+            }
+            "--trace" => {
+                trace_path = match args.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return fail("--trace requires a file path"),
                 };
             }
             flag if flag.starts_with("--") => {
@@ -156,9 +187,14 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
         }
     }
 
+    let trace = match open_trace(trace_path.as_deref()) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
     let mut config = GromConfig::new()
         .with_skip_validation(no_validate)
-        .with_core_minimize(core);
+        .with_core_minimize(core)
+        .with_trace(trace);
     if let Some(n) = threads {
         config = config.with_threads(n);
     }
@@ -215,6 +251,185 @@ fn cmd_validate(scenario_path: &str, source_path: &str, target_path: &str) -> Ex
             }
         }
         Err(e) => fail(e),
+    }
+}
+
+// -------------------------------------------------------------- explain --
+
+mod explain_cli {
+    use super::{fail, load_facts, load_scenario, open_trace};
+    use grom::chase::{chase_standard, render_report, ChaseConfig, ReportOptions};
+    use grom::prelude::*;
+    use grom::scenarios::{chase_mode, list_entries, read_entry};
+    use std::path::{Path, PathBuf};
+    use std::process::ExitCode;
+    use std::time::Instant;
+
+    /// Cross-check the profile against the run's `ChaseStats`: activation
+    /// and tuple counts must agree exactly. Prints the comparison either
+    /// way; returns whether it held.
+    fn reconcile(profile: &ChaseProfile, stats: &ChaseStats) -> bool {
+        let acts = (stats.full_rescans + stats.delta_activations) as u64;
+        let tuples = stats.tuples_inserted as u64;
+        let ok = profile.total_activations() == acts && profile.total_tuples_produced() == tuples;
+        println!(
+            "reconcile: activations {}/{} tuples {}/{}{}",
+            profile.total_activations(),
+            acts,
+            profile.total_tuples_produced(),
+            tuples,
+            if ok { "" } else { "  MISMATCH" }
+        );
+        ok
+    }
+
+    fn report(profile: &ChaseProfile, stats: &ChaseStats, top: usize) -> bool {
+        print!("{}", render_report(profile, &ReportOptions { top }));
+        println!("chase: {stats}");
+        reconcile(profile, stats)
+    }
+
+    /// Chase one corpus entry under `mode` with tracing on and print its
+    /// dominance report.
+    fn explain_entry(
+        dir: &Path,
+        mode: SchedulerMode,
+        top: usize,
+        trace: &TraceHandle,
+    ) -> Result<bool, String> {
+        let entry = read_entry(dir).map_err(|e| e.to_string())?;
+        let (deps, inst) = entry.parts().map_err(|e| e.to_string())?;
+        let cfg = ChaseConfig::default()
+            .with_scheduler(mode)
+            .with_trace(trace.clone());
+        let res = chase_standard(inst, &deps, &cfg)
+            .map_err(|e| format!("entry `{}`: {e}", entry.name))?;
+        println!("== {} ==", entry.name);
+        Ok(report(&res.profile, &res.stats, top))
+    }
+
+    /// Rank a corpus root's entries by an untraced delta-mode chase and
+    /// keep the `n` slowest — the ones worth a full explain.
+    fn slowest_entries(root: &Path, n: usize) -> Result<Vec<PathBuf>, String> {
+        let dirs = list_entries(root).map_err(|e| e.to_string())?;
+        if dirs.is_empty() {
+            return Err(format!("no corpus entries under `{}`", root.display()));
+        }
+        let cfg = ChaseConfig::default();
+        let mut timed = Vec::new();
+        for dir in dirs {
+            let entry = read_entry(&dir).map_err(|e| e.to_string())?;
+            let (deps, inst) = entry.parts().map_err(|e| e.to_string())?;
+            let t0 = Instant::now();
+            // Failing entries still cost wall time; rank them like the rest.
+            let _ = chase_mode(&deps, inst, SchedulerMode::Delta, &cfg);
+            timed.push((t0.elapsed(), dir));
+        }
+        timed.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        timed.truncate(n.max(1));
+        Ok(timed.into_iter().map(|(_, d)| d).collect())
+    }
+
+    /// Explain a full `.grom` scenario: run the pipeline (validation
+    /// skipped — this is a chase diagnosis, not a soundness check) and
+    /// report on its chase profile.
+    fn explain_program(
+        path: &str,
+        data_file: Option<&str>,
+        threads: Option<usize>,
+        top: usize,
+        trace: &TraceHandle,
+    ) -> Result<bool, String> {
+        let (scenario, mut source) = load_scenario(path)?;
+        if let Some(f) = data_file {
+            let extra = load_facts(f)?;
+            source.absorb(&extra).map_err(|e| e.to_string())?;
+        }
+        let mut config = GromConfig::new()
+            .with_skip_validation(true)
+            .with_trace(trace.clone());
+        if let Some(n) = threads {
+            config = config.with_threads(n);
+        }
+        let result = scenario
+            .run_with(&source, &config)
+            .map_err(|e| e.to_string())?;
+        Ok(report(&result.chase_profile, &result.chase_stats, top))
+    }
+
+    pub fn cmd_explain(path: &str, rest: &[String]) -> ExitCode {
+        let mut threads: Option<usize> = None;
+        let mut top = 10usize;
+        let mut slowest = 2usize;
+        let mut trace_path: Option<String> = None;
+        let mut data_file: Option<&str> = None;
+        let mut args = rest.iter();
+        while let Some(arg) = args.next() {
+            let mut number = |flag: &str| -> Result<usize, ExitCode> {
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| fail(format!("{flag} requires a positive integer")))
+            };
+            match arg.as_str() {
+                "--threads" => match number("--threads") {
+                    Ok(n) => threads = Some(n),
+                    Err(code) => return code,
+                },
+                "--top" => match number("--top") {
+                    Ok(n) => top = n,
+                    Err(code) => return code,
+                },
+                "--slowest" => match number("--slowest") {
+                    Ok(n) => slowest = n,
+                    Err(code) => return code,
+                },
+                "--trace" => {
+                    trace_path = match args.next() {
+                        Some(p) => Some(p.clone()),
+                        None => return fail("--trace requires a file path"),
+                    };
+                }
+                flag if flag.starts_with("--") => {
+                    return fail(format!("unknown flag `{flag}`"));
+                }
+                file => data_file = Some(file),
+            }
+        }
+        let trace = match open_trace(trace_path.as_deref()) {
+            Ok(t) => t,
+            Err(e) => return fail(e),
+        };
+        let mode = match threads {
+            Some(n) => SchedulerMode::with_threads(n),
+            None => SchedulerMode::Delta,
+        };
+
+        let target = Path::new(path);
+        let outcome: Result<bool, String> = if target.is_dir() {
+            if target.join(grom::scenarios::corpus::PROGRAM_FILE).is_file() {
+                explain_entry(target, mode, top, &trace)
+            } else {
+                // A corpus root: time everything cheaply, then explain the
+                // slowest entries with tracing on.
+                slowest_entries(target, slowest).and_then(|dirs| {
+                    let mut all_ok = true;
+                    for dir in dirs {
+                        all_ok &= explain_entry(&dir, mode, top, &trace)?;
+                    }
+                    Ok(all_ok)
+                })
+            }
+        } else {
+            explain_program(path, data_file, threads, top, &trace)
+        };
+        match outcome {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => {
+                eprintln!("grom: profile does not reconcile with chase stats");
+                ExitCode::FAILURE
+            }
+            Err(e) => fail(e),
+        }
     }
 }
 
@@ -410,18 +625,27 @@ mod corpus_cli {
         let modes = all_modes();
         let mut reports = Vec::new();
         let mut failures = 0usize;
+        let mut total_wall_ms = 0.0f64;
         for entry in &entries {
             let report = match verify_entry(entry, &modes, &cfg) {
                 Ok(r) => r,
                 Err(e) => return fail(e),
             };
             let status = if report.ok() { "ok" } else { "FAIL" };
+            let entry_wall: f64 = report.modes.iter().map(|m| m.wall_ms).sum();
+            total_wall_ms += entry_wall;
             let timing: Vec<String> = report
                 .modes
                 .iter()
                 .map(|m| format!("{}={:.1}ms", m.mode, m.wall_ms))
                 .collect();
-            println!("{:<28} {:<4} {}", report.name, status, timing.join(" "));
+            println!(
+                "{:<28} {:<4} {:>7.1}ms  {}",
+                report.name,
+                status,
+                entry_wall,
+                timing.join(" ")
+            );
             if report.regen_ok == Some(false) {
                 println!("    regeneration from spec is not byte-identical");
             }
@@ -444,10 +668,11 @@ mod corpus_cli {
             }
         }
         println!(
-            "{} entries verified, {} failing, {} modes each",
+            "{} entries verified, {} failing, {} modes each, {:.1}ms total wall",
             reports.len(),
             failures,
-            modes.len()
+            modes.len(),
+            total_wall_ms
         );
         if failures > 0 {
             ExitCode::FAILURE
@@ -549,6 +774,7 @@ fn main() -> ExitCode {
             ("rewrite", [path]) => cmd_rewrite(path),
             ("analyze", [path]) => cmd_analyze(path),
             ("run", [path, rest @ ..]) => cmd_run(path, rest),
+            ("explain", [path, rest @ ..]) => explain_cli::cmd_explain(path, rest),
             ("validate", [sc, src, tgt]) => cmd_validate(sc, src, tgt),
             ("corpus", rest) => corpus_cli::cmd_corpus(rest).unwrap_or_else(usage),
             _ => usage(),

@@ -12,6 +12,7 @@
 
 use grom_chase::{ChaseConfig, SchedulerMode};
 use grom_rewrite::RewriteOptions;
+use grom_trace::TraceHandle;
 
 use crate::pipeline::PipelineOptions;
 
@@ -50,6 +51,10 @@ pub struct GromConfig {
     /// Intern string constants through one symbol table before the chase
     /// (on by default; see [`PipelineOptions::interning`]).
     pub interning: bool,
+    /// Event sink for the chase's JSONL trace stream. Profiling itself is
+    /// always on; attaching a sink additionally streams one event per
+    /// activation, merge and sweep (see [`grom_chase::TraceSink`]).
+    pub trace: TraceHandle,
 }
 
 impl Default for GromConfig {
@@ -67,6 +72,7 @@ impl Default for GromConfig {
             skip_typecheck: pipeline.skip_typecheck,
             core_minimize: pipeline.core_minimize,
             interning: pipeline.interning,
+            trace: TraceHandle::none(),
         }
     }
 }
@@ -136,6 +142,13 @@ impl GromConfig {
         self.interning = interning;
         self
     }
+
+    /// Attach a trace sink: the chase streams one JSONL event per
+    /// activation, merge and sweep into it.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 impl From<&GromConfig> for ChaseConfig {
@@ -146,6 +159,7 @@ impl From<&GromConfig> for ChaseConfig {
             max_nodes: cfg.max_nodes,
             max_steps_per_branch: cfg.max_steps_per_branch,
             scheduler: cfg.scheduler,
+            trace: cfg.trace.clone(),
         }
     }
 }

@@ -54,6 +54,7 @@ pub mod validate;
 
 pub use config::GromConfig;
 pub use grom_chase::{ChaseConfig, SchedulerMode};
+pub use grom_trace::{ChaseProfile, TraceHandle};
 pub use pipeline::{intern_dependencies, ExchangeResult, PipelineError, PipelineOptions};
 pub use scenario::MappingScenario;
 pub use validate::{validate_solution, ValidationReport};
@@ -68,6 +69,7 @@ pub mod prelude {
     pub use grom_data::{Fact, Instance, Schema, Tuple, Value};
     pub use grom_lang::{Atom, DepClass, Dependency, Literal, Program, Term, ViewSet};
     pub use grom_rewrite::{analyze, RestrictionReport, RewriteOptions, RewriteOutput};
+    pub use grom_trace::{ChaseProfile, TraceHandle};
 }
 
 // Re-export the sub-crates for power users.
@@ -78,3 +80,4 @@ pub use grom_exec as exec;
 pub use grom_lang as lang;
 pub use grom_rewrite as rewrite;
 pub use grom_scenarios as scenarios;
+pub use grom_trace as trace;

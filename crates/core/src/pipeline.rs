@@ -3,7 +3,9 @@
 
 use std::fmt;
 
-use grom_chase::{chase_with_deds, ChaseConfig, ChaseError, ChaseStats, WeakAcyclicityReport};
+use grom_chase::{
+    chase_with_deds, ChaseConfig, ChaseError, ChaseProfile, ChaseStats, WeakAcyclicityReport,
+};
 use grom_data::{DataError, Instance, SymbolTable, Value};
 use grom_engine::MaterializeError;
 use grom_lang::{Atom, Comparison, Dependency, Disjunct, LangError, Literal, Term};
@@ -142,6 +144,9 @@ pub struct ExchangeResult {
     pub wa_report: WeakAcyclicityReport,
     /// Chase statistics (rounds, nulls, scenario counts, …).
     pub chase_stats: ChaseStats,
+    /// Per-dependency chase profile (wall time, activation splits, sweep
+    /// phase timings; see [`grom_chase::render_report`]).
+    pub chase_profile: ChaseProfile,
     /// Core-minimization statistics, when requested via
     /// [`PipelineOptions::core_minimize`].
     pub core_stats: Option<grom_chase::CoreStats>,
@@ -298,6 +303,7 @@ impl MappingScenario {
             rewritten,
             wa_report,
             chase_stats: result.stats,
+            chase_profile: result.profile,
             core_stats,
             validation,
         })

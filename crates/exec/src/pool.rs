@@ -81,6 +81,23 @@ impl WorkerPool {
             })
             .collect()
     }
+
+    /// Like [`WorkerPool::run`], but each result carries how long its
+    /// closure call kept a worker busy — per-job utilization for the
+    /// chase's group profiles. Timing wraps only the `f` call, so claim
+    /// and placement overhead is excluded.
+    pub fn run_timed<T, R, F>(&self, jobs: Vec<T>, f: F) -> Vec<(R, std::time::Duration)>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.run(jobs, |i, job| {
+            let t0 = std::time::Instant::now();
+            let result = f(i, job);
+            (result, t0.elapsed())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +128,17 @@ mod tests {
         });
         let ids: HashSet<_> = out.iter().map(|(_, id)| *id).collect();
         assert!(ids.len() > 1, "expected more than one worker thread");
+    }
+
+    #[test]
+    fn run_timed_returns_results_with_durations() {
+        let pool = WorkerPool::new(2);
+        let out = pool.run_timed(vec![10usize, 20], |_, j| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            j + 1
+        });
+        assert_eq!(out.iter().map(|(r, _)| *r).collect::<Vec<_>>(), [11, 21]);
+        assert!(out.iter().all(|(_, d)| d.as_micros() >= 500));
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct ShardView<'a> {
     /// Equality obligations recorded by egd repairs, in collection order;
     /// unified by the coordinator at the sweep barrier.
     obligations: Vec<(Value, Value)>,
+    /// Insert attempts rejected as duplicates on either layer. A function
+    /// of the snapshot and buffer contents only — deterministic across
+    /// thread counts — so the chase profile can report it per activation.
+    dedup_hits: u64,
 }
 
 impl<'a> ShardView<'a> {
@@ -46,6 +50,7 @@ impl<'a> ShardView<'a> {
             base,
             local,
             obligations: Vec::new(),
+            dedup_hits: 0,
         }
     }
 
@@ -67,9 +72,19 @@ impl<'a> ShardView<'a> {
             }
         }
         if self.base.contains_fact(relation, &tuple) {
+            self.dedup_hits += 1;
             return Ok(false);
         }
-        self.local.insert(relation, tuple)
+        let fresh = self.local.insert(relation, tuple)?;
+        if !fresh {
+            self.dedup_hits += 1;
+        }
+        Ok(fresh)
+    }
+
+    /// Insert attempts rejected as duplicates so far (both layers).
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
     }
 
     /// Drain the log of insertions buffered since the last drain.
@@ -215,6 +230,8 @@ mod tests {
         let log = view.take_delta();
         assert_eq!(log.len(), 1); // only the genuinely new tuple is logged
         assert!(view.take_delta().is_empty());
+        // One rejection per layer: the base hit and the buffer hit.
+        assert_eq!(view.dedup_hits(), 2);
     }
 
     #[test]

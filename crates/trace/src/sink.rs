@@ -1,0 +1,178 @@
+//! Trace sinks: where the event stream goes.
+//!
+//! The chase configuration carries a [`TraceHandle`] — a clonable,
+//! optionally-empty handle to a shared [`TraceSink`]. With no sink
+//! attached every emit is a branch on a `None`, so tracing support costs
+//! nothing on the hot path; profiling (the [`crate::Recorder`]
+//! aggregation) stays on either way.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A line-oriented event consumer. Implementations must be safe to share
+/// across the chase's worker threads; the engine only hands over complete
+/// event lines (no partial writes).
+pub trait TraceSink: Send + Sync {
+    /// Consume one complete event line (without a trailing newline).
+    fn emit(&self, line: &str);
+    /// Flush any buffering; called once at the end of a run.
+    fn flush(&self) {}
+}
+
+/// A clonable handle to an optional shared sink. The default handle is
+/// empty — every emit is a no-op.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<dyn TraceSink>>);
+
+impl TraceHandle {
+    /// The no-op handle (same as `TraceHandle::default()`).
+    pub fn none() -> Self {
+        Self(None)
+    }
+
+    /// A handle over a shared sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self(Some(sink))
+    }
+
+    /// Is a sink attached? Event assembly can be skipped entirely when not.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Forward one event line to the sink, if any.
+    pub fn emit(&self, line: &str) {
+        if let Some(sink) = &self.0 {
+            sink.emit(line);
+        }
+    }
+
+    /// Flush the sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.0 {
+            sink.flush();
+        }
+    }
+}
+
+// `Debug` cannot be derived over `dyn TraceSink`; render attachment only.
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TraceHandle")
+            .field(&if self.0.is_some() { "sink" } else { "none" })
+            .finish()
+    }
+}
+
+/// Streams events to a file as JSON Lines (one event object per line).
+///
+/// Writes are buffered; the buffer is flushed on [`TraceSink::flush`] and
+/// on drop, so a completed run always leaves a well-formed file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, line: &str) {
+        let mut w = self.writer.lock().expect("trace writer poisoned");
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("trace writer poisoned").flush();
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Buffers events in memory; the test-side sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory sink poisoned").clone()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("memory sink poisoned")
+            .push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_handle_is_inert() {
+        let h = TraceHandle::none();
+        assert!(!h.is_active());
+        h.emit("dropped");
+        h.flush();
+        assert_eq!(format!("{h:?}"), "TraceHandle(\"none\")");
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = Arc::new(MemorySink::new());
+        let h = TraceHandle::new(sink.clone());
+        assert!(h.is_active());
+        h.emit("one");
+        let h2 = h.clone();
+        h2.emit("two");
+        assert_eq!(sink.lines(), vec!["one".to_string(), "two".to_string()]);
+        assert_eq!(format!("{h:?}"), "TraceHandle(\"sink\")");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join("grom_trace_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.emit("{\"a\":1}");
+            sink.emit("{\"b\":2}");
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

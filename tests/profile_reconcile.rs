@@ -1,0 +1,188 @@
+//! Reconciliation tests for the chase profile: the per-dependency
+//! accounting of `grom-trace` must agree *exactly* with `ChaseStats` on
+//! activation and tuple counts, its wall times must sum to (at most) the
+//! run's total, and the JSONL event stream must mirror the profile. A
+//! property test additionally pins the profile's counter half (times
+//! excluded) to be independent of the worker-thread count on generated
+//! corpus scenarios.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use grom::chase::{chase_standard, ChaseConfig, MemorySink, TraceHandle};
+use grom::prelude::{ChaseStats, SchedulerMode};
+use grom::trace::json;
+use grom::trace::ChaseProfile;
+use grom_bench::{delta_scaling_workload, egd_scaling_workload, parallel_scaling_workload};
+
+fn cfg(mode: SchedulerMode) -> ChaseConfig {
+    ChaseConfig::default().with_scheduler(mode)
+}
+
+/// The exact counter reconciliation the `grom explain` verb enforces.
+fn assert_reconciles(profile: &ChaseProfile, stats: &ChaseStats) {
+    assert_eq!(
+        profile.total_activations(),
+        (stats.full_rescans + stats.delta_activations) as u64,
+        "activation counts diverge: profile={profile:?} stats={stats:?}"
+    );
+    assert_eq!(profile.total_full_rescans(), stats.full_rescans as u64);
+    assert_eq!(
+        profile.total_delta_activations(),
+        stats.delta_activations as u64
+    );
+    assert_eq!(
+        profile.total_delta_tuples_seeded(),
+        stats.delta_tuples_seeded as u64
+    );
+    assert_eq!(
+        profile.total_tuples_produced(),
+        stats.tuples_inserted as u64,
+        "tuple counts diverge"
+    );
+    assert_eq!(
+        profile.substitution_passes,
+        stats.substitution_passes as u64
+    );
+}
+
+#[test]
+fn delta_profile_times_sum_to_total_and_counters_reconcile() {
+    let (deps, inst) = delta_scaling_workload(8, 40);
+    let res = chase_standard(inst, &deps, &cfg(SchedulerMode::Delta)).unwrap();
+    assert_reconciles(&res.profile, &res.stats);
+
+    let p = &res.profile;
+    assert_eq!(p.mode, "delta");
+    assert!(p.sweeps > 0);
+    assert!(p.sweeps <= res.stats.rounds as u64);
+    // The sequential scheduler derives evaluate time from the activation
+    // walls, so the per-dependency times sum exactly to the evaluate phase
+    // and stay under the run total (which also covers scheduling overhead).
+    assert_eq!(p.total_dep_wall_ns(), p.evaluate_ns);
+    assert!(
+        p.evaluate_ns + p.substitute_ns <= p.total_ns,
+        "phases exceed total: evaluate={} substitute={} total={}",
+        p.evaluate_ns,
+        p.substitute_ns,
+        p.total_ns
+    );
+    // The copy chain is delta-friendly: most activations are delta-seeded
+    // and most of those find work.
+    assert!(p.total_delta_activations() > 0);
+    assert!(p.delta_hit_rate().unwrap() > 0.5);
+}
+
+#[test]
+fn parallel_profile_reconciles_and_tracks_groups() {
+    let (deps, inst) = parallel_scaling_workload(4, 6, 30);
+    let res = chase_standard(inst, &deps, &cfg(SchedulerMode::Parallel { threads: 4 })).unwrap();
+    assert_reconciles(&res.profile, &res.stats);
+
+    let p = &res.profile;
+    assert_eq!(p.mode, "parallel4");
+    assert!(!p.groups.is_empty(), "parallel runs must report groups");
+    assert!(p.groups.iter().map(|g| g.jobs).sum::<u64>() > 0);
+    assert!(p.groups.iter().map(|g| g.busy_ns).sum::<u64>() > 0);
+    // Every dependency is attributed to its conflict group.
+    assert!(p.deps.iter().all(|d| d.group.is_some()));
+    assert!(
+        p.evaluate_ns + p.merge_ns + p.substitute_ns <= p.total_ns,
+        "phases exceed total"
+    );
+}
+
+#[test]
+fn egd_workload_profiles_substitution_passes() {
+    let (deps, inst) = egd_scaling_workload(30, 6, 4);
+    let res = chase_standard(inst, &deps, &cfg(SchedulerMode::Delta)).unwrap();
+    assert_reconciles(&res.profile, &res.stats);
+    assert_eq!(res.profile.substitution_passes, 1);
+    assert!(res.profile.total_obligations() > 0);
+}
+
+#[test]
+fn jsonl_stream_is_well_formed_and_matches_the_profile() {
+    let sink = Arc::new(MemorySink::new());
+    let trace = TraceHandle::new(sink.clone());
+    let (deps, inst) = egd_scaling_workload(20, 5, 3);
+    let config = cfg(SchedulerMode::Parallel { threads: 2 }).with_trace(trace);
+    let res = chase_standard(inst, &deps, &config).unwrap();
+
+    let lines = sink.lines();
+    let mut counts = std::collections::BTreeMap::<String, u64>::new();
+    for line in &lines {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line `{line}`: {e}"));
+        let event = v
+            .get("event")
+            .and_then(|e| e.as_str())
+            .unwrap_or_else(|| panic!("line without event: {line}"))
+            .to_string();
+        *counts.entry(event).or_default() += 1;
+    }
+    let p = &res.profile;
+    assert_eq!(counts.get("run_start"), Some(&1));
+    assert_eq!(counts.get("run_end"), Some(&1));
+    assert_eq!(
+        counts.get("activation").copied().unwrap_or(0),
+        p.total_activations()
+    );
+    assert_eq!(
+        counts.get("merge").copied().unwrap_or(0),
+        p.substitution_passes
+    );
+    assert_eq!(counts.get("sweep").copied().unwrap_or(0), p.sweeps);
+    assert_eq!(
+        lines.len() as u64,
+        2 + p.total_activations() + p.substitution_passes + p.sweeps,
+        "unexpected extra events"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Thread-count independence: on generated corpus scenarios the
+    /// profiles of Parallel{2} and Parallel{4} must agree on every counter
+    /// (wall times excluded — that is what `counters_only` zeroes), and
+    /// every mode must reconcile with its own `ChaseStats`. Delta is *not*
+    /// compared against parallel: the parallel executor legitimately turns
+    /// deferred dependencies into extra full rescans.
+    #[test]
+    fn parallel_profiles_are_thread_count_independent(spec_seed in any::<u64>()) {
+        let spec = grom::scenarios::random_spec(spec_seed, 2);
+        let g = grom::scenarios::generate(&spec);
+        let (deps, inst) = g.parts().expect("generated scenario parses");
+
+        let delta = chase_standard(inst.clone(), &deps, &cfg(SchedulerMode::Delta));
+        if let Ok(d) = &delta {
+            assert_reconciles(&d.profile, &d.stats);
+        }
+        let p2 = chase_standard(
+            inst.clone(), &deps, &cfg(SchedulerMode::Parallel { threads: 2 }));
+        let p4 = chase_standard(
+            inst, &deps, &cfg(SchedulerMode::Parallel { threads: 4 }));
+        match (p2, p4) {
+            (Ok(a), Ok(b)) => {
+                assert_reconciles(&a.profile, &a.stats);
+                assert_reconciles(&b.profile, &b.stats);
+                let mut a2 = a.profile.counters_only();
+                let mut b4 = b.profile.counters_only();
+                // The mode string is the only legitimate difference.
+                a2.mode = String::new();
+                b4.mode = String::new();
+                prop_assert_eq!(
+                    a2, b4,
+                    "spec `{}`: parallel counters depend on thread count", spec
+                );
+            }
+            (Err(_), Err(_)) => {} // failing scenarios have no profile
+            (a, b) => {
+                prop_assert!(false,
+                    "spec `{}`: thread counts disagree on success: 2={:?} 4={:?}",
+                    spec, a.map(|r| r.stats), b.map(|r| r.stats));
+            }
+        }
+    }
+}
