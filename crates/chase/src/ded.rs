@@ -29,8 +29,21 @@ use grom_engine::{disjunct_satisfied, evaluate_body_streaming, Control};
 
 use crate::config::ChaseConfig;
 use crate::nullmap::NullMap;
-use crate::result::{ChaseError, ChaseResult, ChaseStats};
+use crate::result::{ChaseError, ChaseOutcome, ChaseResult, ChaseStats};
 use crate::standard::{apply_disjunct, chase_standard, check_executable};
+
+/// Anchor the campaign budget once, so every scenario / node closure the
+/// campaign delegates to [`chase_standard`] shares one wall-clock deadline
+/// ([`crate::Budget::anchored`] is idempotent — the inner runs re-anchor
+/// to the same instant). Tuple/null caps remain per-standard-run: each
+/// scenario starts from the same source instance, so a per-run cap is the
+/// meaningful bound.
+fn campaign_config(config: &ChaseConfig) -> ChaseConfig {
+    ChaseConfig {
+        budget: config.budget.anchored(),
+        ..config.clone()
+    }
+}
 
 /// Result of the exhaustive ded chase: the universal model set (one
 /// instance per successful leaf; instances that differ only by null
@@ -92,6 +105,7 @@ pub fn chase_greedy(
     for dep in deps {
         check_executable(dep, true)?;
     }
+    let config = &campaign_config(config);
     let (standard, deds) = split(deps);
     if deds.is_empty() {
         return chase_standard(start, &standard, config);
@@ -106,6 +120,8 @@ pub fn chase_greedy(
         if stats.scenarios_tried >= config.max_scenarios {
             return Err(ChaseError::GreedyExhausted {
                 scenarios_tried: stats.scenarios_tried,
+                stats: Box::new(stats.clone()),
+                profile: Box::new(ChaseProfile::default()),
             });
         }
         stats.scenarios_tried += 1;
@@ -136,6 +152,8 @@ pub fn chase_greedy(
             if k == 0 {
                 return Err(ChaseError::GreedyExhausted {
                     scenarios_tried: stats.scenarios_tried,
+                    stats: Box::new(stats.clone()),
+                    profile: Box::new(ChaseProfile::default()),
                 });
             }
             k -= 1;
@@ -156,6 +174,21 @@ pub fn chase_with_deds(
     config: &ChaseConfig,
 ) -> Result<ChaseResult, ChaseError> {
     chase_greedy(start, deps, config)
+}
+
+/// Budget-aware twin of [`chase_with_deds`]: a budget or cancellation stop
+/// in the underlying scenario run surfaces as
+/// [`ChaseOutcome::Interrupted`] with the instance-so-far and a resumable
+/// checkpoint. Note the checkpoint of a ded run is tied to the scenario's
+/// *derived* dependency set; `chase_resume` must be fed the same program
+/// that was actually chased (the pipeline handles this for ded-free
+/// programs — the common case for resume).
+pub fn chase_with_deds_outcome(
+    start: Instance,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseOutcome, ChaseError> {
+    ChaseOutcome::from_run(chase_with_deds(start, deps, config))
 }
 
 /// Ablation of the greedy strategy: **backjumping** scenario search.
@@ -180,6 +213,7 @@ pub fn chase_greedy_backjump(
     for dep in deps {
         check_executable(dep, true)?;
     }
+    let config = &campaign_config(config);
     let (standard, deds) = split(deps);
     if deds.is_empty() {
         return chase_standard(start, &standard, config);
@@ -193,6 +227,8 @@ pub fn chase_greedy_backjump(
         if stats.scenarios_tried >= config.max_scenarios {
             return Err(ChaseError::GreedyExhausted {
                 scenarios_tried: stats.scenarios_tried,
+                stats: Box::new(stats.clone()),
+                profile: Box::new(ChaseProfile::default()),
             });
         }
         stats.scenarios_tried += 1;
@@ -237,6 +273,8 @@ pub fn chase_greedy_backjump(
             if k == 0 {
                 return Err(ChaseError::GreedyExhausted {
                     scenarios_tried: stats.scenarios_tried,
+                    stats: Box::new(stats.clone()),
+                    profile: Box::new(ChaseProfile::default()),
                 });
             }
             k -= 1;
@@ -276,6 +314,7 @@ pub fn chase_exhaustive(
     for dep in deps {
         check_executable(dep, true)?;
     }
+    let config = &campaign_config(config);
     let (standard, deds) = split(deps);
 
     let mut stats = ChaseStats::default();
@@ -445,7 +484,10 @@ mod tests {
         let res = chase_greedy(inst(&[("P", &[1])]), &p.deps, &cfg());
         assert!(matches!(
             res,
-            Err(ChaseError::GreedyExhausted { scenarios_tried: 2 })
+            Err(ChaseError::GreedyExhausted {
+                scenarios_tried: 2,
+                ..
+            })
         ));
     }
 
@@ -465,7 +507,10 @@ mod tests {
         );
         assert!(matches!(
             res,
-            Err(ChaseError::GreedyExhausted { scenarios_tried: 2 })
+            Err(ChaseError::GreedyExhausted {
+                scenarios_tried: 2,
+                ..
+            })
         ));
     }
 

@@ -36,6 +36,7 @@
 //!   and resolved with one combined substitution pass per merge-bearing
 //!   sweep ([`config::SchedulerMode::Parallel`]).
 
+pub mod checkpoint;
 pub mod config;
 pub mod core_min;
 pub mod ded;
@@ -48,18 +49,24 @@ pub mod standard;
 pub mod trigger;
 pub mod wa;
 
-pub use config::{ChaseConfig, SchedulerMode};
+pub use checkpoint::{chase_resume, Checkpoint};
+pub use config::{Budget, CancelToken, ChaseConfig, InterruptReason, SchedulerMode};
 pub use core_min::{core_minimize, CoreStats};
 pub use ded::{
-    chase_exhaustive, chase_greedy, chase_greedy_backjump, chase_with_deds, ExhaustiveResult,
+    chase_exhaustive, chase_greedy, chase_greedy_backjump, chase_with_deds,
+    chase_with_deds_outcome, ExhaustiveResult,
 };
 pub use nullmap::NullMap;
 pub use partition::Partition;
-pub use result::{ChaseError, ChaseResult, ChaseStats};
+pub use result::{ChaseError, ChaseOutcome, ChaseResult, ChaseStats, Interrupted};
 pub use scheduler::Scheduler;
-pub use standard::{chase_standard, chase_standard_full_rescan};
+pub use standard::{chase_standard, chase_standard_full_rescan, chase_standard_outcome};
 pub use trigger::TriggerIndex;
 pub use wa::{is_weakly_acyclic, WeakAcyclicityReport};
+
+// Re-exported so resilience tests can install fault-injection plans
+// without depending on `grom-fail` directly.
+pub use grom_fail as fail;
 
 // Re-exported so chase callers can attach sinks and read profiles without
 // depending on `grom-trace` directly.

@@ -64,13 +64,37 @@ use grom_trace::{ActivationKind, ActivationRecord, Recorder, WorkerRecorder};
 use grom_engine::{disjunct_satisfied, disjunct_satisfied_resolved, find_violation};
 use grom_exec::{ShardView, WorkerPool};
 
-use crate::config::ChaseConfig;
+use crate::checkpoint::ResumeState;
+use crate::config::{CancelToken, ChaseConfig, InterruptReason};
 use crate::nullmap::{NullMap, Unify};
 use crate::partition::Partition;
 use crate::result::{ChaseError, ChaseResult, ChaseStats};
-use crate::scheduler::{apply_sweep_merges, concludes_atoms, delta_violations, Pending, Scheduler};
+use crate::scheduler::{
+    apply_sweep_merges, concludes_atoms, delta_violations, interrupted_return, trip_check, Pending,
+    Scheduler,
+};
 use crate::standard::{check_executable, collect_violations, eval_bound_term};
 use crate::trigger::TriggerIndex;
+
+/// The worker-observable slice of the run budget: cancellation and the
+/// anchored wall-clock deadline. Tuple/null caps are coordinator-side only
+/// — they gate on *global* counters no single worker can see.
+struct TripWatch {
+    deadline_at: Option<Instant>,
+    cancel: CancelToken,
+}
+
+impl TripWatch {
+    fn check(&self) -> Option<InterruptReason> {
+        if self.cancel.is_cancelled() {
+            return Some(InterruptReason::Cancelled);
+        }
+        match self.deadline_at {
+            Some(at) if Instant::now() >= at => Some(InterruptReason::Deadline),
+            _ => None,
+        }
+    }
+}
 
 /// One worker job: the claimed worklist entries of one conflict group
 /// within one sweep, in dependency order.
@@ -114,6 +138,11 @@ struct GroupOutcome {
     /// Denial / comparison failure, tagged with its dependency index so
     /// the coordinator can report the earliest one deterministically.
     failure: Option<(usize, ChaseError)>,
+    /// Cancellation / deadline / fault observed by the worker. Whether the
+    /// job deferred wholesale (observed at entry) or completed (observed
+    /// between slots), the coordinator folds this into the sweep-boundary
+    /// interruption decision.
+    observed: Option<InterruptReason>,
 }
 
 /// Resolve a value through the frozen sweep-start null map, then through
@@ -224,9 +253,43 @@ fn run_group_job(
     deps: &[Dependency],
     triggers: &TriggerIndex,
     base_nulls: &NullMap,
+    watch: &TripWatch,
     mut job: GroupJob,
     mut nulls: StridedNullGenerator,
 ) -> GroupOutcome {
+    // Job-entry interruption point: the `worker` fault (a panic here is
+    // contained by the pool's `run_timed_caught`) and the cancellation /
+    // deadline watch. A job that observes either *before doing any work*
+    // defers wholesale — every claimed entry is handed back for a Full
+    // rescan. That is exact: conflict-free groups do not interact within a
+    // sweep, so deferring the whole job is equivalent to the scheduler
+    // having claimed it one sweep later.
+    let mut observed: Option<InterruptReason> = if grom_fail::hit("worker") {
+        Some(InterruptReason::Fault)
+    } else {
+        watch.check()
+    };
+    if observed.is_some() {
+        let deferred: Vec<usize> = job
+            .work
+            .iter()
+            .filter(|(_, p)| !matches!(p, Pending::Idle))
+            .map(|(k, _)| *k)
+            .collect();
+        return GroupOutcome {
+            delta: DeltaLog::default(),
+            consumed: BTreeMap::new(),
+            obligations: Vec::new(),
+            deferred,
+            stats: ChaseStats::default(),
+            group: job.group,
+            trace: WorkerRecorder::new(),
+            max_null: None,
+            failure: None,
+            observed,
+        };
+    }
+
     let mut view = ShardView::new(base);
     let mut local = NullMap::new();
     let mut delta = DeltaLog::default();
@@ -237,6 +300,12 @@ fn run_group_job(
     let mut trace = WorkerRecorder::new();
 
     for slot in 0..job.work.len() {
+        // Between claimed entries the watch is observe-only: a claimed job
+        // completes its work (mid-job skips would break exactness), and
+        // the coordinator acts on the observation at the sweep barrier.
+        if observed.is_none() {
+            observed = watch.check();
+        }
         let (k, pending) = std::mem::replace(&mut job.work[slot], (0, Pending::Idle));
         let dep = &deps[k];
         // Mirror of the sequential loop's mid-sweep flush: once this job
@@ -336,6 +405,7 @@ fn run_group_job(
                 trace,
                 max_null: nulls.max_allocated(),
                 failure: Some((k, e)),
+                observed,
             };
         }
 
@@ -374,6 +444,7 @@ fn run_group_job(
         trace,
         max_null: nulls.max_allocated(),
         failure: None,
+        observed,
     }
 }
 
@@ -390,30 +461,90 @@ pub(crate) fn chase_standard_parallel(
     for dep in deps {
         check_executable(dep, false)?;
     }
+    chase_parallel_loop(ResumeState::fresh(start, deps), deps, config, threads)
+}
 
-    let mut inst = start;
-    let mut stats = ChaseStats::default();
-    let mut nullgen = NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
-    let mut nullmap = NullMap::new();
-    let mut sched = Scheduler::new(deps);
+/// Continue a checkpointed run on the parallel executor. Checkpoints are
+/// sweep-aligned and mode-agnostic, so a run interrupted under any
+/// scheduler resumes here.
+pub(crate) fn chase_parallel_resume(
+    state: ResumeState,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+    threads: usize,
+) -> Result<ChaseResult, ChaseError> {
+    for dep in deps {
+        check_executable(dep, false)?;
+    }
+    chase_parallel_loop(state, deps, config, threads)
+}
+
+fn chase_parallel_loop(
+    state: ResumeState,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+    threads: usize,
+) -> Result<ChaseResult, ChaseError> {
+    let ResumeState {
+        mut inst,
+        rounds,
+        next_null,
+        mut nullmap,
+        pending,
+    } = state;
+    let mut stats = ChaseStats {
+        rounds,
+        ..Default::default()
+    };
+    let mut nullgen = NullGenerator::starting_at(next_null);
+    let mut sched = Scheduler::with_pending(deps, pending);
     let partition = Partition::build(deps, sched.triggers());
     let pool = WorkerPool::new(threads);
+    let mode = format!("parallel{threads}");
     let names: Vec<String> = deps.iter().map(|d| d.name.to_string()).collect();
-    let mut rec = Recorder::new(&names, &format!("parallel{threads}"), &config.trace);
+    let mut rec = Recorder::new(&names, &mode, &config.trace);
     let groups: Vec<usize> = (0..deps.len()).map(|k| partition.group_of(k)).collect();
     rec.set_groups(&groups);
+    let budget = config.budget.anchored();
+    let watch = TripWatch {
+        deadline_at: budget.deadline_at(),
+        cancel: config.cancel.clone(),
+    };
     inst.begin_delta_tracking();
 
     loop {
         if stats.rounds >= config.max_rounds {
+            let profile = Box::new(rec.finish());
             return Err(ChaseError::RoundLimit {
                 rounds: stats.rounds,
+                stats: Box::new(stats),
+                profile,
             });
         }
         stats.rounds += 1;
         let sweep = stats.rounds as u64;
         if !sched.has_work() {
             break;
+        }
+
+        // Sweep-start interruption point, before any work of this sweep
+        // (the aborted sweep is not counted).
+        let mut tripped = trip_check(&budget, &config.cancel, &stats);
+        if grom_fail::hit("sweep") {
+            tripped.get_or_insert(InterruptReason::Fault);
+        }
+        if let Some(reason) = tripped {
+            stats.rounds -= 1;
+            return interrupted_return(
+                reason,
+                &mode,
+                inst,
+                &mut nullmap,
+                &sched,
+                stats,
+                rec,
+                nullgen.peek_next(),
+            );
         }
 
         // Claim the whole sweep's worklist, bucketed by conflict group.
@@ -448,12 +579,31 @@ pub(crate) fn chase_standard_parallel(
         let snapshot: &Instance = &inst;
         let frozen_nulls: &NullMap = &nullmap;
         let t_eval = Instant::now();
-        let outcomes = pool.run_timed(jobs, |j, job| {
+        let outcomes = match pool.run_timed_caught(jobs, |j, job| {
             let nulls = StridedNullGenerator::new(base_label, j as u64, stride);
-            run_group_job(snapshot, deps, triggers, frozen_nulls, job, nulls)
-        });
+            run_group_job(snapshot, deps, triggers, frozen_nulls, &watch, job, nulls)
+        }) {
+            Ok(outcomes) => outcomes,
+            // A worker panic is contained by the pool (every thread is
+            // still joined); surface it as a hard error instead of
+            // aborting the process. The pool is stateless and reusable.
+            Err(detail) => return Err(ChaseError::WorkerPanicked { detail }),
+        };
         let evaluate_ns = t_eval.elapsed().as_nanos() as u64;
         let t_merge = Instant::now();
+
+        // Barrier-entry fault point, plus the workers' observations (in
+        // job order, so the recorded reason is deterministic).
+        let mut tripped: Option<InterruptReason> = None;
+        if grom_fail::hit("barrier") {
+            tripped = Some(InterruptReason::Fault);
+        }
+        for (o, _) in &outcomes {
+            if tripped.is_some() {
+                break;
+            }
+            tripped = o.observed;
+        }
 
         // Barrier, step 1 — unify the merged obligation sets on the
         // run-level null map: concatenate in job order, stable-sort by
@@ -522,19 +672,43 @@ pub(crate) fn chase_standard_parallel(
         }
         let merge_ns = t_merge.elapsed().as_nanos() as u64;
 
+        // Coordinator-side budget check against the *global* counters the
+        // absorb just updated (tuple/null caps live here, not in the
+        // workers).
+        if tripped.is_none() {
+            tripped = trip_check(&budget, &config.cancel, &stats);
+        }
+
         // Barrier, step 4 — one combined substitution pass and one
         // targeted invalidation for the whole sweep, if anything merged.
-        if any_merge {
-            apply_sweep_merges(
+        if any_merge
+            && apply_sweep_merges(
                 &mut inst,
                 &mut nullmap,
                 &mut sched,
                 &mut stats,
                 &mut rec,
                 sweep,
-            );
+            )
+        {
+            tripped.get_or_insert(InterruptReason::Fault);
         }
         rec.end_sweep(sweep, Some(evaluate_ns), merge_ns);
+        // Sweep-boundary interruption: the barrier has merged, routed and
+        // substituted, and delta tracking is off — exactly the state a
+        // checkpoint captures.
+        if let Some(reason) = tripped {
+            return interrupted_return(
+                reason,
+                &mode,
+                inst,
+                &mut nullmap,
+                &sched,
+                stats,
+                rec,
+                nullgen.peek_next(),
+            );
+        }
         inst.begin_delta_tracking();
     }
 
@@ -724,7 +898,10 @@ mod tests {
     fn round_budget_is_honored() {
         let dep = parse_dependency("tgd m: R(x, y) -> R(y, z).").unwrap();
         let res = chase_standard(inst(&[("R", &[1, 2])]), &[dep], &par(2).with_max_rounds(20));
-        assert!(matches!(res, Err(ChaseError::RoundLimit { rounds: 20 })));
+        assert!(matches!(
+            res,
+            Err(ChaseError::RoundLimit { rounds: 20, .. })
+        ));
     }
 
     #[test]
@@ -754,5 +931,66 @@ mod tests {
         let p = parse_program("tgd a: S(x) -> T(x).").unwrap();
         let res = chase_standard(inst(&[("S", &[5])]), &p.deps, &par(1)).unwrap();
         assert_eq!(res.instance.tuples("T").count(), 1);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained() {
+        let _g = grom_fail::test_lock();
+        grom_fail::install("worker:panic@1").unwrap();
+        let p = parse_program("tgd a: S(x) -> T(x).").unwrap();
+        let res = chase_standard(inst(&[("S", &[1]), ("S", &[2])]), &p.deps, &par(2));
+        grom_fail::clear();
+        match res {
+            Err(ChaseError::WorkerPanicked { detail }) => {
+                assert!(
+                    detail.contains("injected panic"),
+                    "unexpected panic detail: {detail}"
+                );
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // Containment leaves no poisoned state behind: the same engine
+        // config chases to completion immediately afterwards.
+        let ok = chase_standard(inst(&[("S", &[1])]), &p.deps, &par(2)).unwrap();
+        assert_eq!(ok.instance.tuples("T").count(), 1);
+    }
+
+    #[test]
+    fn sweep_interrupt_checkpoint_resume_matches_uninterrupted() {
+        use crate::checkpoint::{chase_resume, Checkpoint};
+        use crate::config::InterruptReason;
+        use crate::result::ChaseOutcome;
+
+        let _g = grom_fail::test_lock();
+        // Declared consumer-first so the worker-local cascade cannot finish
+        // everything in sweep 1: `b`'s work lands in sweep 2, which is
+        // where the fault directive interrupts.
+        let p = parse_program(
+            "tgd b: T(x, y) -> U(y).\n\
+             tgd a: S(x) -> T(x, y).",
+        )
+        .unwrap();
+        let start = inst(&[("S", &[1]), ("S", &[2])]);
+        let full = chase_standard(start.clone(), &p.deps, &par(2)).unwrap();
+
+        grom_fail::install("sweep:interrupt@2").unwrap();
+        let res = chase_standard(start, &p.deps, &par(2));
+        grom_fail::clear();
+        let interrupted = match res {
+            Err(ChaseError::Interrupted(i)) => i,
+            other => panic!("expected an interruption, got {other:?}"),
+        };
+        assert_eq!(interrupted.reason, InterruptReason::Fault);
+
+        // Round-trip the checkpoint through its JSON form, then resume.
+        let cp = Checkpoint::from_json(&interrupted.checkpoint.to_json()).unwrap();
+        let resumed = match chase_resume(&cp, &p.deps, &par(2)).unwrap() {
+            ChaseOutcome::Completed(r) => r,
+            other => panic!("resume should complete, got {other:?}"),
+        };
+        assert_eq!(
+            canonical_render(&resumed.instance),
+            canonical_render(&full.instance)
+        );
     }
 }

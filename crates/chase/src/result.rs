@@ -6,6 +6,9 @@ use std::sync::Arc;
 use grom_data::{DataError, Instance, Value};
 use grom_trace::ChaseProfile;
 
+use crate::checkpoint::Checkpoint;
+use crate::config::InterruptReason;
+
 /// Counters describing a chase run. Experiments E4/E5/E7 report these.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChaseStats {
@@ -114,6 +117,69 @@ pub struct ChaseResult {
     pub profile: ChaseProfile,
 }
 
+/// A chase stopped early by its budget, cancellation or fault injection.
+/// Unlike the hard [`ChaseError`] variants this carries everything the run
+/// produced — the instance-so-far, full statistics and profile — plus a
+/// [`Checkpoint`](crate::Checkpoint) from which
+/// [`chase_resume`](crate::chase_resume) continues to the same final
+/// instance an uninterrupted run would have reached.
+#[derive(Debug, Clone)]
+pub struct Interrupted {
+    pub reason: InterruptReason,
+    pub instance: Instance,
+    pub stats: ChaseStats,
+    pub profile: ChaseProfile,
+    pub checkpoint: Checkpoint,
+}
+
+impl Interrupted {
+    /// Map every interned symbol back to a plain string value, in both the
+    /// carried instance and the checkpoint. The pipeline calls this when
+    /// string interning was enabled for the run.
+    pub fn unintern(&mut self) {
+        self.instance = self.instance.unintern_strings();
+        self.checkpoint.unintern();
+    }
+}
+
+/// The outcome of a budget-aware chase entry point: either a completed
+/// fixpoint or a graceful interruption. [`ChaseError`] keeps signalling
+/// the hard failures (clash, non-executable, storage).
+#[derive(Debug, Clone)]
+pub enum ChaseOutcome {
+    Completed(ChaseResult),
+    Interrupted(Interrupted),
+}
+
+impl ChaseOutcome {
+    /// Convert the internal error-channel representation: interruption
+    /// travels as `Err(ChaseError::Interrupted)` inside the engine so the
+    /// existing `?` plumbing propagates it, and surfaces here as the
+    /// graceful variant.
+    pub fn from_run(run: Result<ChaseResult, ChaseError>) -> Result<ChaseOutcome, ChaseError> {
+        match run {
+            Ok(res) => Ok(ChaseOutcome::Completed(res)),
+            Err(ChaseError::Interrupted(i)) => Ok(ChaseOutcome::Interrupted(*i)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The instance produced so far, complete or not.
+    pub fn instance(&self) -> &Instance {
+        match self {
+            ChaseOutcome::Completed(r) => &r.instance,
+            ChaseOutcome::Interrupted(i) => &i.instance,
+        }
+    }
+
+    pub fn stats(&self) -> &ChaseStats {
+        match self {
+            ChaseOutcome::Completed(r) => &r.stats,
+            ChaseOutcome::Interrupted(i) => &i.stats,
+        }
+    }
+}
+
 /// Chase failure modes.
 #[derive(Debug, Clone)]
 pub enum ChaseError {
@@ -123,9 +189,28 @@ pub enum ChaseError {
         detail: String,
     },
     /// The round budget was exhausted (program likely not terminating).
-    RoundLimit { rounds: usize },
-    /// Greedy ded chase: every attempted scenario failed.
-    GreedyExhausted { scenarios_tried: usize },
+    /// Carries the partial statistics and profile so the diagnostics of
+    /// the budget-tripping run are not discarded with the instance.
+    RoundLimit {
+        rounds: usize,
+        stats: Box<ChaseStats>,
+        profile: Box<ChaseProfile>,
+    },
+    /// Greedy ded chase: every attempted scenario failed. Carries the
+    /// campaign-wide accumulated statistics.
+    GreedyExhausted {
+        scenarios_tried: usize,
+        stats: Box<ChaseStats>,
+        profile: Box<ChaseProfile>,
+    },
+    /// The budget or cancel token stopped the run at a sweep boundary;
+    /// the boxed payload carries the partial instance and a resumable
+    /// checkpoint. Internal representation — the public entry points
+    /// convert this into [`ChaseOutcome::Interrupted`].
+    Interrupted(Box<Interrupted>),
+    /// A worker thread panicked inside the parallel executor. The panic is
+    /// contained by `catch_unwind`; the pool stays reusable.
+    WorkerPanicked { detail: String },
     /// Exhaustive ded chase: the node budget was exhausted.
     NodeLimit { nodes: usize },
     /// Exhaustive ded chase: every branch failed — the ded set is
@@ -157,13 +242,25 @@ impl fmt::Display for ChaseError {
             ChaseError::Failure { dependency, detail } => {
                 write!(f, "chase failure at `{dependency}`: {detail}")
             }
-            ChaseError::RoundLimit { rounds } => {
+            ChaseError::RoundLimit { rounds, .. } => {
                 write!(f, "chase did not terminate within {rounds} rounds")
             }
-            ChaseError::GreedyExhausted { scenarios_tried } => write!(
+            ChaseError::GreedyExhausted {
+                scenarios_tried, ..
+            } => write!(
                 f,
                 "greedy ded chase: all {scenarios_tried} scenarios failed"
             ),
+            ChaseError::Interrupted(i) => {
+                write!(
+                    f,
+                    "chase interrupted ({}) after {} rounds; resumable",
+                    i.reason, i.stats.rounds
+                )
+            }
+            ChaseError::WorkerPanicked { detail } => {
+                write!(f, "chase worker panicked: {detail}")
+            }
             ChaseError::NodeLimit { nodes } => {
                 write!(f, "exhaustive ded chase: node budget ({nodes}) exhausted")
             }

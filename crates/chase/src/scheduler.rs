@@ -71,9 +71,10 @@ use grom_engine::{
     disjunct_satisfied, disjunct_satisfied_resolved, evaluate_body_from_delta, Control, Db,
 };
 
-use crate::config::ChaseConfig;
+use crate::checkpoint::{Checkpoint, ResumeState};
+use crate::config::{Budget, CancelToken, ChaseConfig, InterruptReason};
 use crate::nullmap::NullMap;
-use crate::result::{ChaseError, ChaseResult, ChaseStats};
+use crate::result::{ChaseError, ChaseResult, ChaseStats, Interrupted};
 use crate::standard::{apply_disjunct, check_executable, collect_violations, resolve_bindings};
 use crate::trigger::TriggerIndex;
 
@@ -121,10 +122,25 @@ impl Scheduler {
     /// A scheduler over `deps`, with every dependency initially scheduled
     /// for a full scan (round one of the classical chase).
     pub fn new(deps: &[Dependency]) -> Self {
+        Self::with_pending(deps, vec![Pending::Full; deps.len()])
+    }
+
+    /// A scheduler over `deps` resuming a checkpointed worklist. `pending`
+    /// must be index-aligned with `deps` (validated by
+    /// [`Checkpoint::restore`](crate::Checkpoint)).
+    pub(crate) fn with_pending(deps: &[Dependency], pending: Vec<Pending>) -> Self {
+        debug_assert_eq!(pending.len(), deps.len());
         Self {
             triggers: TriggerIndex::build(deps),
-            pending: vec![Pending::Full; deps.len()],
+            pending,
         }
+    }
+
+    /// Clone the worklist for a checkpoint. Sweep-aligned by construction:
+    /// the loops only capture between sweeps, when every routed delta has
+    /// been folded into these slots.
+    pub(crate) fn pending_snapshot(&self) -> Vec<Pending> {
+        self.pending.clone()
     }
 
     /// Is any dependency scheduled?
@@ -387,6 +403,9 @@ pub(crate) fn concludes_atoms(dep: &Dependency) -> bool {
 /// plus mid-sweep when an atom-bearing dependency is about to run with
 /// obligations pending, so its satisfaction checks see exactly the
 /// instance state the declaration-ordered reference loop gives them.
+/// Returns `true` when the `subst` fault-injection point fired an
+/// interruption (the pass itself always completes — interruption is
+/// observed by the caller at the next sweep boundary).
 pub(crate) fn apply_sweep_merges(
     inst: &mut Instance,
     nullmap: &mut NullMap,
@@ -394,7 +413,7 @@ pub(crate) fn apply_sweep_merges(
     stats: &mut ChaseStats,
     rec: &mut Recorder,
     sweep: u64,
-) {
+) -> bool {
     let t0 = Instant::now();
     let map = nullmap.flatten();
     let changed = inst.substitute_nulls_batch(&map);
@@ -407,6 +426,54 @@ pub(crate) fn apply_sweep_merges(
         changed.len(),
         t0.elapsed().as_nanos() as u64,
     );
+    grom_fail::hit("subst")
+}
+
+/// Cooperative budget/cancellation check, shared by every chase loop.
+/// Cancellation wins over budget exhaustion so a Ctrl-C is reported as
+/// such even when a cap tripped in the same activation.
+pub(crate) fn trip_check(
+    budget: &Budget,
+    cancel: &CancelToken,
+    stats: &ChaseStats,
+) -> Option<InterruptReason> {
+    if cancel.is_cancelled() {
+        return Some(InterruptReason::Cancelled);
+    }
+    budget.exceeded(stats.tuples_inserted, stats.nulls_invented)
+}
+
+/// Package a sweep-aligned interruption: stop delta tracking, capture the
+/// checkpoint, and wrap everything the run produced into the internal
+/// `Err(ChaseError::Interrupted)` the entry points surface as
+/// [`crate::ChaseOutcome::Interrupted`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn interrupted_return(
+    reason: InterruptReason,
+    mode: &str,
+    mut inst: Instance,
+    nullmap: &mut NullMap,
+    sched: &Scheduler,
+    stats: ChaseStats,
+    rec: Recorder,
+    next_null: u64,
+) -> Result<ChaseResult, ChaseError> {
+    inst.end_delta_tracking();
+    let checkpoint = Checkpoint::capture(
+        mode,
+        stats.rounds,
+        next_null,
+        &inst,
+        nullmap,
+        sched.pending_snapshot(),
+    );
+    Err(ChaseError::Interrupted(Box::new(Interrupted {
+        reason,
+        instance: inst,
+        stats,
+        profile: rec.finish(),
+        checkpoint,
+    })))
 }
 
 /// The delta-driven standard chase: same semantics and failure modes as
@@ -420,20 +487,53 @@ pub(crate) fn chase_standard_delta(
     for dep in deps {
         check_executable(dep, false)?;
     }
+    chase_delta_loop(ResumeState::fresh(start, deps), deps, config)
+}
 
-    let mut inst = start;
-    let mut stats = ChaseStats::default();
-    let mut nullgen = NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
-    let mut nullmap = NullMap::new();
-    let mut sched = Scheduler::new(deps);
+/// Continue a checkpointed run on the delta scheduler. Same loop as a
+/// fresh run: the [`ResumeState`] carries the round count, the null
+/// cursor, the pending worklist and the re-installed null map.
+pub(crate) fn chase_delta_resume(
+    state: ResumeState,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseResult, ChaseError> {
+    for dep in deps {
+        check_executable(dep, false)?;
+    }
+    chase_delta_loop(state, deps, config)
+}
+
+fn chase_delta_loop(
+    state: ResumeState,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseResult, ChaseError> {
+    let ResumeState {
+        mut inst,
+        rounds,
+        next_null,
+        mut nullmap,
+        pending,
+    } = state;
+    let mut stats = ChaseStats {
+        rounds,
+        ..Default::default()
+    };
+    let mut nullgen = NullGenerator::starting_at(next_null);
+    let mut sched = Scheduler::with_pending(deps, pending);
     let names: Vec<String> = deps.iter().map(|d| d.name.to_string()).collect();
     let mut rec = Recorder::new(&names, "delta", &config.trace);
+    let budget = config.budget.anchored();
     inst.begin_delta_tracking();
 
     loop {
         if stats.rounds >= config.max_rounds {
+            let profile = Box::new(rec.finish());
             return Err(ChaseError::RoundLimit {
                 rounds: stats.rounds,
+                stats: Box::new(stats),
+                profile,
             });
         }
         stats.rounds += 1;
@@ -442,6 +542,34 @@ pub(crate) fn chase_standard_delta(
             break;
         }
 
+        // Sweep-start interruption point: budget, cancellation and the
+        // `sweep` fault all stop the run *before* any work of this sweep,
+        // so the aborted sweep is not counted.
+        let mut tripped = trip_check(&budget, &config.cancel, &stats);
+        if grom_fail::hit("sweep") {
+            tripped.get_or_insert(InterruptReason::Fault);
+        }
+        if let Some(reason) = tripped {
+            stats.rounds -= 1;
+            return interrupted_return(
+                reason,
+                "delta",
+                inst,
+                &mut nullmap,
+                &sched,
+                stats,
+                rec,
+                nullgen.peek_next(),
+            );
+        }
+
+        // Once a sweep starts it always COMPLETES: skipping or deferring
+        // mid-sweep would diverge from the declaration-ordered reference
+        // semantics (an unapplied tgd can change which nulls later
+        // dependencies see). Budget trips observed mid-sweep are recorded
+        // and acted on at the sweep boundary — at most one sweep of
+        // overshoot, bounded by the per-activation check below.
+        let mut tripped: Option<InterruptReason> = None;
         let mut sweep_merged = false;
         for k in 0..deps.len() {
             // An atom-bearing dependency must not evaluate against an
@@ -452,14 +580,16 @@ pub(crate) fn chase_standard_delta(
             // obligation-recording dependencies — the egd-heavy case —
             // still share one combined pass.
             if sweep_merged && concludes_atoms(&deps[k]) && sched.has_pending(k) {
-                apply_sweep_merges(
+                if apply_sweep_merges(
                     &mut inst,
                     &mut nullmap,
                     &mut sched,
                     &mut stats,
                     &mut rec,
                     sweep,
-                );
+                ) {
+                    tripped.get_or_insert(InterruptReason::Fault);
+                }
                 sweep_merged = false;
             }
             sweep_merged |= run_dep_sequential(
@@ -473,20 +603,37 @@ pub(crate) fn chase_standard_delta(
                 &mut rec,
                 sweep,
             )?;
+            if tripped.is_none() {
+                tripped = trip_check(&budget, &config.cancel, &stats);
+            }
         }
         if sweep_merged {
             // One combined substitution pass for the sweep's remaining
             // obligations, however many dependencies recorded them.
-            apply_sweep_merges(
+            if apply_sweep_merges(
                 &mut inst,
                 &mut nullmap,
                 &mut sched,
                 &mut stats,
                 &mut rec,
                 sweep,
-            );
+            ) {
+                tripped.get_or_insert(InterruptReason::Fault);
+            }
         }
         rec.end_sweep(sweep, None, 0);
+        if let Some(reason) = tripped {
+            return interrupted_return(
+                reason,
+                "delta",
+                inst,
+                &mut nullmap,
+                &sched,
+                stats,
+                rec,
+                nullgen.peek_next(),
+            );
+        }
     }
 
     inst.end_delta_tracking();

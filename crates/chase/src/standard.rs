@@ -27,9 +27,11 @@ use grom_trace::{ActivationKind, ActivationRecord, Recorder};
 
 use grom_engine::{disjunct_satisfied, evaluate_body_streaming, Control, Db};
 
-use crate::config::ChaseConfig;
+use crate::checkpoint::{Checkpoint, ResumeState};
+use crate::config::{ChaseConfig, InterruptReason};
 use crate::nullmap::{NullMap, Unify};
-use crate::result::{ChaseError, ChaseResult, ChaseStats};
+use crate::result::{ChaseError, ChaseOutcome, ChaseResult, ChaseStats, Interrupted};
+use crate::scheduler::{trip_check, Pending};
 
 /// Reject dependencies the standard chase cannot execute.
 pub(crate) fn check_executable(dep: &Dependency, allow_deds: bool) -> Result<(), ChaseError> {
@@ -197,6 +199,17 @@ pub fn chase_standard(
     }
 }
 
+/// Budget-aware entry point: like [`chase_standard`], but a budget or
+/// cancellation stop surfaces as [`ChaseOutcome::Interrupted`] (carrying
+/// the instance-so-far and a resumable checkpoint) instead of an error.
+pub fn chase_standard_outcome(
+    start: Instance,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseOutcome, ChaseError> {
+    ChaseOutcome::from_run(chase_standard(start, deps, config))
+}
+
 /// The classical round-based chase loop: every round re-evaluates every
 /// dependency's premise against the entire instance. Kept as the reference
 /// implementation (the delta scheduler must agree with it — see the
@@ -212,23 +225,96 @@ pub fn chase_standard_full_rescan(
     for dep in deps {
         check_executable(dep, false)?;
     }
+    chase_full_rescan_loop(ResumeState::fresh(start, deps), deps, config)
+}
 
-    let mut inst = start;
-    let mut stats = ChaseStats::default();
-    let mut nullgen = NullGenerator::starting_at(inst.max_null_label().map_or(0, |l| l + 1));
-    let mut nullmap = NullMap::new();
+/// Continue a checkpointed run on the full-rescan loop. The pending
+/// worklist is ignored — every round rescans every premise anyway, so any
+/// sweep-aligned checkpoint resumes exactly here.
+pub(crate) fn chase_full_rescan_resume(
+    state: ResumeState,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseResult, ChaseError> {
+    for dep in deps {
+        check_executable(dep, false)?;
+    }
+    chase_full_rescan_loop(state, deps, config)
+}
+
+fn chase_full_rescan_loop(
+    state: ResumeState,
+    deps: &[Dependency],
+    config: &ChaseConfig,
+) -> Result<ChaseResult, ChaseError> {
+    let ResumeState {
+        mut inst,
+        rounds,
+        next_null,
+        mut nullmap,
+        pending: _,
+    } = state;
+    let mut stats = ChaseStats {
+        rounds,
+        ..Default::default()
+    };
+    let mut nullgen = NullGenerator::starting_at(next_null);
     let names: Vec<String> = deps.iter().map(|d| d.name.to_string()).collect();
     let mut rec = Recorder::new(&names, "full_rescan", &config.trace);
+    let budget = config.budget.anchored();
+
+    // Checkpoints from this loop schedule every dependency Full: the next
+    // round would have rescanned everything regardless of provenance.
+    let interrupted = |reason: InterruptReason,
+                       inst: Instance,
+                       nullmap: &mut NullMap,
+                       stats: ChaseStats,
+                       rec: Recorder,
+                       next_null: u64|
+     -> Result<ChaseResult, ChaseError> {
+        let checkpoint = Checkpoint::capture(
+            "full_rescan",
+            stats.rounds,
+            next_null,
+            &inst,
+            nullmap,
+            vec![Pending::Full; deps.len()],
+        );
+        Err(ChaseError::Interrupted(Box::new(Interrupted {
+            reason,
+            instance: inst,
+            stats,
+            profile: rec.finish(),
+            checkpoint,
+        })))
+    };
 
     loop {
         if stats.rounds >= config.max_rounds {
+            let profile = Box::new(rec.finish());
             return Err(ChaseError::RoundLimit {
                 rounds: stats.rounds,
+                stats: Box::new(stats),
+                profile,
             });
         }
+
+        // Round-start interruption point, before this round is counted.
+        let mut tripped = trip_check(&budget, &config.cancel, &stats);
+        if grom_fail::hit("sweep") {
+            tripped.get_or_insert(InterruptReason::Fault);
+        }
+        if let Some(reason) = tripped {
+            return interrupted(reason, inst, &mut nullmap, stats, rec, nullgen.peek_next());
+        }
+
         stats.rounds += 1;
         let sweep = stats.rounds as u64;
         let mut progressed = false;
+        // Trips observed mid-round are recorded and acted on at the round
+        // boundary — a started round always completes (see the exactness
+        // note in `crate::scheduler`).
+        let mut tripped: Option<InterruptReason> = None;
 
         for (k, dep) in deps.iter().enumerate() {
             let t0 = Instant::now();
@@ -300,12 +386,23 @@ pub fn chase_standard_full_rescan(
                 let changed = inst.substitute_nulls(|id| nullmap.lookup(id));
                 stats.substitution_passes += 1;
                 rec.substitution(sweep, 0, changed.len(), ts.elapsed().as_nanos() as u64);
+                if grom_fail::hit("subst") {
+                    tripped.get_or_insert(InterruptReason::Fault);
+                }
+            }
+            if tripped.is_none() {
+                tripped = trip_check(&budget, &config.cancel, &stats);
             }
         }
         rec.end_sweep(sweep, None, 0);
 
         if !progressed {
+            // A reached fixpoint beats an interruption: the result is
+            // final, so there is nothing to resume.
             break;
+        }
+        if let Some(reason) = tripped {
+            return interrupted(reason, inst, &mut nullmap, stats, rec, nullgen.peek_next());
         }
     }
 
@@ -474,7 +571,10 @@ mod tests {
             &[dep],
             &ChaseConfig::default().with_max_rounds(20),
         );
-        assert!(matches!(res, Err(ChaseError::RoundLimit { rounds: 20 })));
+        assert!(matches!(
+            res,
+            Err(ChaseError::RoundLimit { rounds: 20, .. })
+        ));
     }
 
     #[test]

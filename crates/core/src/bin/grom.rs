@@ -29,14 +29,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  grom rewrite  <scenario.grom>\n  grom analyze  <scenario.grom>\n  \
          grom run      <scenario.grom> [data.facts] [--core] [--no-validate] [--quiet] \
-         [--threads N] [--trace out.jsonl]\n  \
+         [--threads N] [--trace out.jsonl]\n                \
+         [--deadline-ms MS] [--max-tuples N] [--checkpoint <file>] [--resume <file>]\n  \
          grom explain  <scenario.grom|corpus-entry|corpus> [data.facts] [--threads N] \
          [--top N] [--slowest N] [--trace out.jsonl]\n  \
          grom validate <scenario.grom> <source.facts> <target.facts>\n  \
          grom corpus   gen    --name <entry> --spec \"<spec>\" [--dir corpus]\n  \
          grom corpus   record [--dir corpus] [entry...]\n  \
          grom corpus   verify [--dir corpus] [--summary-md <file>] [entry...]\n  \
-         grom corpus   fuzz   [--budget N] [--seed S] [--max-scale K] [--out <dir>]\n  \
+         grom corpus   fuzz   [--budget N] [--seed S] [--max-scale K] [--deadline-ms MS] \
+         [--out <dir>]\n  \
          grom corpus   list   [--dir corpus]"
     );
     ExitCode::from(2)
@@ -140,6 +142,63 @@ fn cmd_analyze(path: &str) -> ExitCode {
     }
 }
 
+/// Hook SIGINT to a [`CancelToken`]: the first Ctrl-C requests a graceful,
+/// sweep-aligned interruption (the handler only flips an atomic, which is
+/// async-signal-safe). Installing twice is a no-op.
+#[cfg(unix)]
+fn install_ctrl_c(token: &CancelToken) {
+    use std::sync::OnceLock;
+    static CTRL_C_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    extern "C" fn on_sigint(_sig: i32) {
+        if let Some(t) = CTRL_C_TOKEN.get() {
+            t.cancel();
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    if CTRL_C_TOKEN.set(token.clone()).is_ok() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_ctrl_c(_token: &CancelToken) {}
+
+/// Report an interrupted chase: partial statistics always, a checkpoint
+/// file when the caller asked for one. Exit code 3 distinguishes "stopped
+/// resumable" from hard failures.
+fn report_interrupted(
+    i: &grom::chase::Interrupted,
+    checkpoint_path: Option<&str>,
+    quiet: bool,
+) -> ExitCode {
+    eprintln!(
+        "chase interrupted ({}) after {} rounds; instance so far has {} tuples",
+        i.reason,
+        i.stats.rounds,
+        i.instance.len()
+    );
+    if !quiet {
+        eprintln!("chase: {}", i.stats);
+    }
+    match checkpoint_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, i.checkpoint.to_json()) {
+                return fail(format!("cannot write checkpoint `{p}`: {e}"));
+            }
+            eprintln!(
+                "checkpoint written to `{p}`; continue with `grom run <scenario> --resume {p}`"
+            );
+        }
+        None => eprintln!("hint: pass `--checkpoint <file>` to save a resumable checkpoint"),
+    }
+    ExitCode::from(3)
+}
+
 fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
     let mut data_file: Option<&str> = None;
     let mut core = false;
@@ -147,6 +206,10 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
     let mut quiet = false;
     let mut threads: Option<usize> = None;
     let mut trace_path: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_tuples: Option<usize> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -163,6 +226,30 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
                 trace_path = match args.next() {
                     Some(p) => Some(p.clone()),
                     None => return fail("--trace requires a file path"),
+                };
+            }
+            "--deadline-ms" => {
+                deadline_ms = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) => Some(ms),
+                    None => return fail("--deadline-ms requires a millisecond count"),
+                };
+            }
+            "--max-tuples" => {
+                max_tuples = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => return fail("--max-tuples requires a positive integer"),
+                };
+            }
+            "--checkpoint" => {
+                checkpoint_path = match args.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return fail("--checkpoint requires a file path"),
+                };
+            }
+            "--resume" => {
+                resume_path = match args.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return fail("--resume requires a checkpoint file"),
                 };
             }
             flag if flag.starts_with("--") => {
@@ -198,6 +285,50 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
     if let Some(n) = threads {
         config = config.with_threads(n);
     }
+    let mut budget = Budget::none();
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline_ms(ms);
+    }
+    if let Some(n) = max_tuples {
+        budget = budget.with_max_tuples(n);
+    }
+    config = config.with_budget(budget);
+    let cancel = CancelToken::new();
+    install_ctrl_c(&cancel);
+    config = config.with_cancel(cancel);
+
+    if let Some(rp) = resume_path {
+        if data_file.is_some() {
+            return fail("--resume continues from a checkpoint; do not also pass a data file");
+        }
+        let text = match std::fs::read_to_string(&rp) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("cannot read checkpoint `{rp}`: {e}")),
+        };
+        let checkpoint = match Checkpoint::from_json(&text) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("{rp}: {e}")),
+        };
+        let options: PipelineOptions = (&config).into();
+        return match scenario.resume(&checkpoint, &options) {
+            Ok(ChaseOutcome::Completed(res)) => {
+                let target = match scenario.extract_target(&res.instance) {
+                    Ok(t) => t,
+                    Err(e) => return fail(e),
+                };
+                print!("{target}");
+                if !quiet {
+                    eprintln!("chase: {}", res.stats);
+                }
+                ExitCode::SUCCESS
+            }
+            Ok(ChaseOutcome::Interrupted(i)) => {
+                report_interrupted(&i, checkpoint_path.as_deref(), quiet)
+            }
+            Err(e) => fail(e),
+        };
+    }
+
     match scenario.run_with(&source, &config) {
         Ok(result) => {
             print!("{}", result.target);
@@ -218,6 +349,9 @@ fn cmd_run(path: &str, rest: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
+        }
+        Err(PipelineError::Chase(ChaseError::Interrupted(i))) => {
+            report_interrupted(&i, checkpoint_path.as_deref(), quiet)
         }
         Err(e) => fail(e),
     }
@@ -289,6 +423,17 @@ mod explain_cli {
         reconcile(profile, stats)
     }
 
+    /// The default config plus the entry's committed derived-tuple budget,
+    /// if any — without it the `expect: interrupted` entries never
+    /// terminate under an unbudgeted chase.
+    fn entry_config(entry: &grom::scenarios::CorpusEntry) -> ChaseConfig {
+        let mut cfg = ChaseConfig::default();
+        if let Some(n) = entry.max_tuples {
+            cfg = cfg.with_budget(Budget::none().with_max_tuples(n as usize));
+        }
+        cfg
+    }
+
     /// Chase one corpus entry under `mode` with tracing on and print its
     /// dominance report.
     fn explain_entry(
@@ -299,13 +444,19 @@ mod explain_cli {
     ) -> Result<bool, String> {
         let entry = read_entry(dir).map_err(|e| e.to_string())?;
         let (deps, inst) = entry.parts().map_err(|e| e.to_string())?;
-        let cfg = ChaseConfig::default()
+        let cfg = entry_config(&entry)
             .with_scheduler(mode)
             .with_trace(trace.clone());
-        let res = chase_standard(inst, &deps, &cfg)
-            .map_err(|e| format!("entry `{}`: {e}", entry.name))?;
         println!("== {} ==", entry.name);
-        Ok(report(&res.profile, &res.stats, top))
+        match chase_standard(inst, &deps, &cfg) {
+            Ok(res) => Ok(report(&res.profile, &res.stats, top)),
+            // Budgeted (non-terminating) entries still profile their prefix.
+            Err(ChaseError::Interrupted(i)) => {
+                println!("(interrupted by budget: {}; partial profile)", i.reason);
+                Ok(report(&i.profile, &i.stats, top))
+            }
+            Err(e) => Err(format!("entry `{}`: {e}", entry.name)),
+        }
     }
 
     /// Rank a corpus root's entries by an untraced delta-mode chase and
@@ -315,11 +466,11 @@ mod explain_cli {
         if dirs.is_empty() {
             return Err(format!("no corpus entries under `{}`", root.display()));
         }
-        let cfg = ChaseConfig::default();
         let mut timed = Vec::new();
         for dir in dirs {
             let entry = read_entry(&dir).map_err(|e| e.to_string())?;
             let (deps, inst) = entry.parts().map_err(|e| e.to_string())?;
+            let cfg = entry_config(&entry);
             let t0 = Instant::now();
             // Failing entries still cost wall time; rank them like the rest.
             let _ = chase_mode(&deps, inst, SchedulerMode::Delta, &cfg);
@@ -456,6 +607,7 @@ mod corpus_cli {
         budget: usize,
         seed: u64,
         max_scale: usize,
+        deadline_ms: u64,
         out: Option<PathBuf>,
         force: bool,
     }
@@ -470,6 +622,7 @@ mod corpus_cli {
             budget: 64,
             seed: 1,
             max_scale: 2,
+            deadline_ms: 5000,
             out: None,
             force: false,
         };
@@ -499,6 +652,11 @@ mod corpus_cli {
                     flags.max_scale = value("--max-scale")?
                         .parse()
                         .map_err(|_| "--max-scale requires a positive integer".to_string())?
+                }
+                "--deadline-ms" => {
+                    flags.deadline_ms = value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms requires a millisecond count".to_string())?
                 }
                 "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
                 "--force" => flags.force = true,
@@ -694,10 +852,16 @@ mod corpus_cli {
             flags.max_scale,
             out_dir.display()
         );
+        let deadline = if flags.deadline_ms == 0 {
+            None
+        } else {
+            Some(flags.deadline_ms)
+        };
         let outcome = match fuzz(
             flags.budget,
             flags.seed,
             flags.max_scale,
+            deadline,
             &out_dir,
             &cfg,
             |i, spec| {
@@ -710,9 +874,10 @@ mod corpus_cli {
             Err(e) => return fail(e),
         };
         println!(
-            "tried {} scenarios, {} divergences",
+            "tried {} scenarios, {} divergences ({} deadline exhaustions)",
             outcome.tried,
-            outcome.findings.len()
+            outcome.findings.len(),
+            outcome.timed_out
         );
         for f in &outcome.findings {
             println!(
@@ -743,6 +908,9 @@ mod corpus_cli {
                 grom::scenarios::Provenance::Generated(spec) => format!("spec: {spec}"),
                 grom::scenarios::Provenance::Minimized { origin } => {
                     format!("minimized-from: {origin}")
+                }
+                grom::scenarios::Provenance::Handwritten { note } => {
+                    format!("handwritten: {note}")
                 }
             };
             println!("{:<28} {}", entry.name, origin);

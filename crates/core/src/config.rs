@@ -10,7 +10,7 @@
 //!
 //! [`MappingScenario::run_with`]: crate::MappingScenario::run_with
 
-use grom_chase::{ChaseConfig, SchedulerMode};
+use grom_chase::{Budget, CancelToken, ChaseConfig, SchedulerMode};
 use grom_rewrite::RewriteOptions;
 use grom_trace::TraceHandle;
 
@@ -55,6 +55,13 @@ pub struct GromConfig {
     /// always on; attaching a sink additionally streams one event per
     /// activation, merge and sweep (see [`grom_chase::TraceSink`]).
     pub trace: TraceHandle,
+    /// Resource budget for the chase (wall-clock deadline, derived-tuple
+    /// cap, fresh-null cap). Exhaustion interrupts at a sweep boundary
+    /// with a resumable checkpoint instead of failing.
+    pub budget: Budget,
+    /// Cooperative cancellation token, checked at the same sweep
+    /// boundaries as the budget (hook it to Ctrl-C for graceful stops).
+    pub cancel: CancelToken,
 }
 
 impl Default for GromConfig {
@@ -73,6 +80,8 @@ impl Default for GromConfig {
             core_minimize: pipeline.core_minimize,
             interning: pipeline.interning,
             trace: TraceHandle::none(),
+            budget: chase.budget,
+            cancel: chase.cancel,
         }
     }
 }
@@ -149,6 +158,19 @@ impl GromConfig {
         self.trace = trace;
         self
     }
+
+    /// Bound the chase by a resource budget; exhaustion interrupts with a
+    /// resumable checkpoint instead of failing.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Install a cancellation token the chase polls at sweep boundaries.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
 }
 
 impl From<&GromConfig> for ChaseConfig {
@@ -160,6 +182,8 @@ impl From<&GromConfig> for ChaseConfig {
             max_steps_per_branch: cfg.max_steps_per_branch,
             scheduler: cfg.scheduler,
             trace: cfg.trace.clone(),
+            budget: cfg.budget.clone(),
+            cancel: cfg.cancel.clone(),
         }
     }
 }

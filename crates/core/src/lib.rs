@@ -53,7 +53,7 @@ pub mod scenario;
 pub mod validate;
 
 pub use config::GromConfig;
-pub use grom_chase::{ChaseConfig, SchedulerMode};
+pub use grom_chase::{Budget, CancelToken, ChaseConfig, Checkpoint, SchedulerMode};
 pub use grom_trace::{ChaseProfile, TraceHandle};
 pub use pipeline::{intern_dependencies, ExchangeResult, PipelineError, PipelineOptions};
 pub use scenario::MappingScenario;
@@ -65,7 +65,10 @@ pub mod prelude {
     pub use crate::pipeline::{ExchangeResult, PipelineError, PipelineOptions};
     pub use crate::scenario::MappingScenario;
     pub use crate::validate::{validate_solution, ValidationReport};
-    pub use grom_chase::{ChaseConfig, ChaseError, ChaseStats, SchedulerMode};
+    pub use grom_chase::{
+        Budget, CancelToken, ChaseConfig, ChaseError, ChaseOutcome, ChaseStats, Checkpoint,
+        InterruptReason, SchedulerMode,
+    };
     pub use grom_data::{Fact, Instance, Schema, Tuple, Value};
     pub use grom_lang::{Atom, DepClass, Dependency, Literal, Program, Term, ViewSet};
     pub use grom_rewrite::{analyze, RestrictionReport, RewriteOptions, RewriteOutput};

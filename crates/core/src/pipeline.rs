@@ -264,25 +264,29 @@ impl MappingScenario {
         //    interning on, the working instance and the dependency
         //    constants pass through one symbol table first, so every join
         //    and dedup inside the chase compares dense ids; the extraction
-        //    below folds the symbols back into plain strings.
+        //    below folds the symbols back into plain strings. An
+        //    interrupted chase is un-interned the same way before it
+        //    propagates, so its checkpoint serializes plain strings and
+        //    resumes without the run's symbol table.
         let result = if options.interning {
             let mut table = SymbolTable::new();
             let interned = working.intern_strings(&mut table);
             let deps = intern_dependencies(&rewritten.deps, &mut table);
-            chase_with_deds(interned, &deps, &options.chase)?
+            match chase_with_deds(interned, &deps, &options.chase) {
+                Ok(r) => r,
+                Err(ChaseError::Interrupted(mut i)) => {
+                    i.unintern();
+                    return Err(PipelineError::Chase(ChaseError::Interrupted(i)));
+                }
+                Err(e) => return Err(e.into()),
+            }
         } else {
             chase_with_deds(working, &rewritten.deps, &options.chase)?
         };
 
         // 5. Extract the target instance: target-schema relations only,
         //    un-interned back to string constants.
-        let mut target = Instance::new();
-        for rel in self.target_schema.relations() {
-            for t in result.instance.tuples(rel.name()) {
-                let values: Vec<Value> = t.values().iter().map(Value::unintern).collect();
-                target.insert(rel.name(), values.into())?;
-            }
-        }
+        let mut target = self.extract_target(&result.instance)?;
 
         // 5b. Optional core minimization of the universal solution.
         let core_stats = options
@@ -307,6 +311,54 @@ impl MappingScenario {
             core_stats,
             validation,
         })
+    }
+
+    /// Project a chased instance down to the target schema, folding
+    /// interned symbols back into plain string constants.
+    pub fn extract_target(&self, chased: &Instance) -> Result<Instance, PipelineError> {
+        let mut target = Instance::new();
+        for rel in self.target_schema.relations() {
+            for t in chased.tuples(rel.name()) {
+                let values: Vec<Value> = t.values().iter().map(Value::unintern).collect();
+                target.insert(rel.name(), values.into())?;
+            }
+        }
+        Ok(target)
+    }
+
+    /// Continue an interrupted pipeline run from a chase checkpoint.
+    ///
+    /// The scenario is re-rewritten to recover the dependency set the
+    /// checkpoint's worklist is aligned with; source materialization is
+    /// skipped — the checkpoint instance already contains the sources and
+    /// everything derived from them. Interning is likewise skipped:
+    /// checkpoints always store plain strings (see
+    /// [`grom_chase::Interrupted::unintern`]).
+    ///
+    /// Scenarios whose rewriting produces disjunctive embedded
+    /// dependencies chase a *derived* dependency set per ded scenario; a
+    /// checkpoint from such a run resumes exactly only under the same
+    /// derived set, which this method does not reconstruct — it fails up
+    /// front instead of resuming against the wrong program.
+    pub fn resume(
+        &self,
+        checkpoint: &grom_chase::Checkpoint,
+        options: &PipelineOptions,
+    ) -> Result<grom_chase::ChaseOutcome, PipelineError> {
+        self.validate()?;
+        let rewritten = self.rewrite(&options.rewrite)?;
+        if !rewritten.is_ded_free() {
+            return Err(PipelineError::scenario(
+                "cannot resume a checkpoint for a scenario with disjunctive \
+                 dependencies: the ded campaign chases derived programs the \
+                 checkpoint worklist is not aligned with",
+            ));
+        }
+        Ok(grom_chase::chase_resume(
+            checkpoint,
+            &rewritten.deps,
+            &options.chase,
+        )?)
     }
 
     /// Check a source instance against the source schema: every relation

@@ -145,12 +145,28 @@ impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Int(i) => write!(f, "{i}"),
-            Value::Str(s) => write!(f, "\"{s}\""),
-            Value::Sym(s) => write!(f, "\"{s}\""),
+            Value::Str(s) => write_quoted(f, s),
+            Value::Sym(s) => write_quoted(f, s.as_str()),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Null(id) => write!(f, "{id}"),
         }
     }
+}
+
+/// Quote a string constant, escaping embedded quotes and backslashes so
+/// the rendered form survives a `write_instance`/`read_instance` round
+/// trip (checkpoints embed instances as text).
+fn write_quoted(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    use fmt::Write as _;
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
 }
 
 impl From<i64> for Value {

@@ -98,6 +98,65 @@ impl WorkerPool {
             (result, t0.elapsed())
         })
     }
+
+    /// Like [`WorkerPool::run`], but a panicking job is contained with
+    /// `catch_unwind` instead of aborting the process at the scope join.
+    /// Returns `Err` with the panic payload of the lowest-indexed failed
+    /// job (deterministic under any thread schedule); the scope still
+    /// joins every worker first, so the pool — stateless by construction —
+    /// is immediately reusable after a failure.
+    pub fn run_caught<T, R, F>(&self, jobs: Vec<T>, f: F) -> Result<Vec<R>, String>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let caught = self.run(jobs, |i, job| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, job)))
+                // `as_ref`, not `&payload`: a `&Box<dyn Any>` would itself
+                // coerce to `&dyn Any` and every downcast would miss.
+                .map_err(|payload| panic_detail(payload.as_ref()))
+        });
+        let mut out = Vec::with_capacity(caught.len());
+        for r in caught {
+            match r {
+                Ok(v) => out.push(v),
+                Err(detail) => return Err(detail),
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`WorkerPool::run_caught`] with per-job busy durations, the
+    /// panic-containing twin of [`WorkerPool::run_timed`].
+    pub fn run_timed_caught<T, R, F>(
+        &self,
+        jobs: Vec<T>,
+        f: F,
+    ) -> Result<Vec<(R, std::time::Duration)>, String>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.run_caught(jobs, |i, job| {
+            let t0 = std::time::Instant::now();
+            let result = f(i, job);
+            (result, t0.elapsed())
+        })
+    }
+}
+
+/// Render a panic payload the way the default hook would: `&str` and
+/// `String` payloads verbatim, anything else opaquely.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +198,30 @@ mod tests {
         });
         assert_eq!(out.iter().map(|(r, _)| *r).collect::<Vec<_>>(), [11, 21]);
         assert!(out.iter().all(|(_, d)| d.as_micros() >= 500));
+    }
+
+    #[test]
+    fn run_caught_contains_panics_and_reports_the_first() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_caught((0..16).collect::<Vec<usize>>(), |_, j| {
+            if j == 5 || j == 11 {
+                panic!("job {j} exploded");
+            }
+            j
+        });
+        // Lowest-indexed failure wins, regardless of completion order.
+        assert_eq!(out, Err("job 5 exploded".to_string()));
+        // The pool is reusable after containment.
+        let ok = pool.run_caught(vec![1, 2, 3], |_, j| j * 2);
+        assert_eq!(ok, Ok(vec![2, 4, 6]));
+    }
+
+    #[test]
+    fn run_caught_contains_panics_inline_too() {
+        let out = WorkerPool::new(1).run_caught(vec![0usize], |_, _| -> usize {
+            panic!("inline boom");
+        });
+        assert_eq!(out, Err("inline boom".to_string()));
     }
 
     #[test]

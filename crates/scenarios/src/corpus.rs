@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use grom_chase::{
-    chase_standard, chase_standard_full_rescan, ChaseConfig, ChaseError, SchedulerMode,
+    chase_standard, chase_standard_full_rescan, Budget, ChaseConfig, ChaseError, SchedulerMode,
 };
 use grom_data::{canonical_render, Instance};
 use grom_lang::Dependency;
@@ -56,6 +56,9 @@ pub enum Provenance {
     /// A minimized fuzz finding (or hand-written regression); the origin
     /// text records the spec that originally exposed it.
     Minimized { origin: String },
+    /// Written by hand (e.g. the non-weakly-acyclic resilience entries);
+    /// the note says why it exists. No regeneration check applies.
+    Handwritten { note: String },
 }
 
 /// One corpus entry, fully in memory.
@@ -67,6 +70,13 @@ pub struct CorpusEntry {
     pub source: String,
     /// `None` until recorded (freshly generated entries).
     pub expected: Option<String>,
+    /// `Some(class)` turns verification inside out: every mode must *fail*
+    /// in this [`error_class`] (e.g. `interrupted` for non-terminating
+    /// entries chased under a budget) instead of matching `expected.txt`.
+    pub expect: Option<String>,
+    /// Derived-tuple budget applied when chasing this entry; what makes
+    /// `expect: interrupted` entries deterministic across machines.
+    pub max_tuples: Option<u64>,
 }
 
 /// Corpus-layer failures.
@@ -124,6 +134,8 @@ impl CorpusEntry {
             program: g.program,
             source: g.source,
             expected: None,
+            expect: None,
+            max_tuples: None,
         }
     }
 
@@ -182,6 +194,8 @@ pub fn error_class(e: &ChaseError) -> &'static str {
         ChaseError::NoSolution { .. } => "no-solution",
         ChaseError::NotExecutable { .. } => "not-executable",
         ChaseError::Data(_) => "data-error",
+        ChaseError::Interrupted(_) => "interrupted",
+        ChaseError::WorkerPanicked { .. } => "worker-panicked",
     }
 }
 
@@ -192,7 +206,7 @@ pub fn error_class(e: &ChaseError) -> &'static str {
 pub fn write_entry(dir: &Path, entry: &CorpusEntry) -> Result<PathBuf, CorpusError> {
     let path = dir.join(&entry.name);
     fs::create_dir_all(&path).map_err(|e| io_err(&path, e))?;
-    let spec_text = match &entry.provenance {
+    let mut spec_text = match &entry.provenance {
         Provenance::Generated(spec) => format!(
             "# regenerate: grom corpus gen --name {} --spec \"{spec}\"\nspec: {spec}\n",
             entry.name
@@ -200,7 +214,16 @@ pub fn write_entry(dir: &Path, entry: &CorpusEntry) -> Result<PathBuf, CorpusErr
         Provenance::Minimized { origin } => format!(
             "# minimized fuzz finding; not regenerable from a spec.\nminimized-from: {origin}\n"
         ),
+        Provenance::Handwritten { note } => {
+            format!("# hand-written entry; not regenerable from a spec.\nhandwritten: {note}\n")
+        }
     };
+    if let Some(n) = entry.max_tuples {
+        spec_text.push_str(&format!("max-tuples: {n}\n"));
+    }
+    if let Some(class) = &entry.expect {
+        spec_text.push_str(&format!("expect: {class}\n"));
+    }
     let writes: [(&str, &str); 3] = [
         (SPEC_FILE, &spec_text),
         (PROGRAM_FILE, &entry.program),
@@ -235,6 +258,8 @@ pub fn read_entry(path: &Path) -> Result<CorpusEntry, CorpusError> {
     };
     let spec_text = read(SPEC_FILE)?;
     let mut provenance = None;
+    let mut expect = None;
+    let mut max_tuples = None;
     for line in spec_text.lines() {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("spec:") {
@@ -242,19 +267,31 @@ pub fn read_entry(path: &Path) -> Result<CorpusEntry, CorpusError> {
                 path: path.join(SPEC_FILE),
                 detail: e.to_string(),
             })?;
-            provenance = Some(Provenance::Generated(spec));
-            break;
-        }
-        if let Some(rest) = line.strip_prefix("minimized-from:") {
-            provenance = Some(Provenance::Minimized {
+            provenance.get_or_insert(Provenance::Generated(spec));
+        } else if let Some(rest) = line.strip_prefix("minimized-from:") {
+            provenance.get_or_insert(Provenance::Minimized {
                 origin: rest.trim().to_string(),
             });
-            break;
+        } else if let Some(rest) = line.strip_prefix("handwritten:") {
+            provenance.get_or_insert(Provenance::Handwritten {
+                note: rest.trim().to_string(),
+            });
+        } else if let Some(rest) = line.strip_prefix("expect:") {
+            expect = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("max-tuples:") {
+            max_tuples = Some(
+                rest.trim()
+                    .parse::<u64>()
+                    .map_err(|e| CorpusError::Malformed {
+                        path: path.join(SPEC_FILE),
+                        detail: format!("bad max-tuples line: {e}"),
+                    })?,
+            );
         }
     }
     let provenance = provenance.ok_or_else(|| CorpusError::Malformed {
         path: path.join(SPEC_FILE),
-        detail: "no `spec:` or `minimized-from:` line".into(),
+        detail: "no `spec:`, `minimized-from:` or `handwritten:` line".into(),
     })?;
     let expected = match fs::read_to_string(path.join(EXPECTED_FILE)) {
         Ok(text) => Some(text.trim_end_matches('\n').to_string()),
@@ -267,6 +304,8 @@ pub fn read_entry(path: &Path) -> Result<CorpusEntry, CorpusError> {
         program: read(PROGRAM_FILE)?,
         source: read(SOURCE_FILE)?,
         expected,
+        expect,
+        max_tuples,
     })
 }
 
@@ -320,37 +359,60 @@ pub fn verify_entry(
     modes: &[(&'static str, SchedulerMode)],
     cfg: &ChaseConfig,
 ) -> Result<EntryReport, CorpusError> {
-    let expected = entry
-        .expected
-        .as_deref()
-        .ok_or_else(|| CorpusError::Parse {
-            name: entry.name.clone(),
-            detail: format!("no committed {EXPECTED_FILE}; run `grom corpus record` first"),
-        })?;
     let regen_ok = match &entry.provenance {
         Provenance::Generated(spec) => {
             let g = generate(spec);
             Some(g.program == entry.program && g.source == entry.source)
         }
-        Provenance::Minimized { .. } => None,
+        Provenance::Minimized { .. } | Provenance::Handwritten { .. } => None,
+    };
+    let mut cfg = cfg.clone();
+    if let Some(n) = entry.max_tuples {
+        cfg = cfg.with_budget(Budget::none().with_max_tuples(n as usize));
+    }
+    // `expect: <class>` entries (e.g. non-terminating programs chased
+    // under a tuple budget) must *fail* in that class under every mode;
+    // no expected.txt applies. Everything else compares renderings.
+    let expected = match entry.expect.as_deref() {
+        Some(_) => None,
+        None => Some(
+            entry
+                .expected
+                .as_deref()
+                .ok_or_else(|| CorpusError::Parse {
+                    name: entry.name.clone(),
+                    detail: format!("no committed {EXPECTED_FILE}; run `grom corpus record` first"),
+                })?,
+        ),
     };
     let (deps, inst) = entry.parts()?;
     let mut runs = Vec::new();
     for &(mode_name, mode) in modes {
         let t0 = Instant::now();
-        let outcome = chase_mode(&deps, inst.clone(), mode, cfg);
+        let outcome = chase_mode(&deps, inst.clone(), mode, &cfg);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let (ok, detail) = match outcome {
-            Ok(rendered) if rendered == expected => (true, None),
-            Ok(rendered) => (
+        let (ok, detail) = match (entry.expect.as_deref(), outcome) {
+            (Some(want), Err(class)) if class == want => (true, None),
+            (Some(want), Err(class)) => (
+                false,
+                Some(format!(
+                    "expected `{want}` failure, chase failed with `{class}`"
+                )),
+            ),
+            (Some(want), Ok(_)) => (
+                false,
+                Some(format!("expected `{want}` failure, chase completed")),
+            ),
+            (None, Ok(rendered)) if Some(rendered.as_str()) == expected => (true, None),
+            (None, Ok(rendered)) => (
                 false,
                 Some(format!(
                     "canonical render mismatch ({} vs {} expected lines)",
                     rendered.lines().count(),
-                    expected.lines().count()
+                    expected.map_or(0, |e| e.lines().count())
                 )),
             ),
-            Err(class) => (false, Some(format!("chase error: {class}"))),
+            (None, Err(class)) => (false, Some(format!("chase error: {class}"))),
         };
         runs.push(ModeRun {
             mode: mode_name,
@@ -414,6 +476,9 @@ pub struct FuzzFinding {
 pub struct FuzzOutcome {
     pub tried: usize,
     pub findings: Vec<FuzzFinding>,
+    /// How many of `findings` are deadline exhaustions rather than
+    /// cross-mode divergences.
+    pub timed_out: usize,
 }
 
 /// Run `budget` random scenarios through every scheduler mode; divergences
@@ -426,10 +491,19 @@ pub fn fuzz(
     budget: usize,
     seed: u64,
     max_scale: usize,
+    deadline_ms: Option<u64>,
     out_dir: &Path,
     cfg: &ChaseConfig,
     mut progress: impl FnMut(usize, &ScenarioSpec),
 ) -> Result<FuzzOutcome, CorpusError> {
+    // The deadline bounds every individual chase of the campaign: one
+    // pathological (non-terminating or explosive) scenario can no longer
+    // hang the whole run. Exhaustions surface as findings below.
+    let cfg = match deadline_ms {
+        Some(ms) => cfg.clone().with_budget(Budget::none().with_deadline_ms(ms)),
+        None => cfg.clone(),
+    };
+    let cfg = &cfg;
     let mut outcome = FuzzOutcome::default();
     for i in 0..budget {
         let spec = random_spec(seed.wrapping_add(i as u64), max_scale);
@@ -440,7 +514,59 @@ pub fn fuzz(
             detail,
         })?;
         outcome.tried += 1;
-        if divergence(&deps, &inst, cfg).is_none() {
+
+        // Chase every mode once; a deadline exhaustion in any mode is its
+        // own finding (written un-minimized — the shrinker would re-chase
+        // the runaway program thousands of times), not a divergence.
+        let results: Vec<(&'static str, Result<String, String>)> = all_modes()
+            .into_iter()
+            .map(|(mode_name, mode)| (mode_name, chase_mode(&deps, inst.clone(), mode, cfg)))
+            .collect();
+        let timed: Vec<&str> = results
+            .iter()
+            .filter(|(_, r)| r.as_ref().err().map(String::as_str) == Some("interrupted"))
+            .map(|(mode_name, _)| *mode_name)
+            .collect();
+        if !timed.is_empty() {
+            let detail = format!(
+                "deadline of {}ms exceeded under: {}",
+                deadline_ms.unwrap_or(0),
+                timed.join(", ")
+            );
+            let entry = CorpusEntry {
+                name: format!("timeout_{:08x}_{i:04}", seed),
+                provenance: Provenance::Handwritten {
+                    note: format!("fuzz deadline exhaustion; originating spec: {spec}"),
+                },
+                program: g.program.clone(),
+                source: g.source.clone(),
+                expected: None,
+                expect: Some("interrupted".into()),
+                max_tuples: None,
+            };
+            let dir = write_entry(out_dir, &entry)?;
+            let detail_path = dir.join("divergence.txt");
+            fs::write(&detail_path, format!("{detail}\n")).map_err(|e| io_err(&detail_path, e))?;
+            let size = (deps.len(), inst.len());
+            outcome.timed_out += 1;
+            outcome.findings.push(FuzzFinding {
+                entry_dir: dir,
+                spec,
+                detail,
+                before: size,
+                after: size,
+            });
+            continue;
+        }
+        let diverged = {
+            let reference = &results[0].1;
+            results[1..].iter().any(|(_, got)| match (reference, got) {
+                (Ok(a), Ok(b)) => a != b,
+                (Err(a), Err(b)) => a != b,
+                _ => true,
+            })
+        };
+        if !diverged {
             continue;
         }
         let before = (deps.len(), inst.len());
@@ -455,6 +581,8 @@ pub fn fuzz(
             program: render_minimized_program(&report.deps, &spec),
             source: grom_data::write_instance(&report.instance),
             expected: None,
+            expect: None,
+            max_tuples: None,
         };
         // Record the reference rendering when the reference chase still
         // succeeds; a failing reference leaves expected absent (the entry
@@ -576,12 +704,65 @@ mod tests {
     }
 
     #[test]
+    fn expect_interrupted_entry_verifies_under_every_mode() {
+        let dir = tmp_dir("expect");
+        let cfg = ChaseConfig::default();
+        // A self-feeding tgd: not weakly acyclic, never terminates. With a
+        // tuple budget every mode must interrupt, and the entry says so.
+        let entry = CorpusEntry {
+            name: "nwa_probe".into(),
+            provenance: Provenance::Handwritten {
+                note: "self-feeding tgd, chase cannot terminate".into(),
+            },
+            program: "tgd m: R(x, y) -> R(y, z).\n".into(),
+            source: "R(1, 2).\n".into(),
+            expected: None,
+            expect: Some("interrupted".into()),
+            max_tuples: Some(50),
+        };
+        let path = write_entry(&dir, &entry).unwrap();
+        let back = read_entry(&path).unwrap();
+        assert_eq!(back, entry);
+
+        let report = verify_entry(&back, &all_modes(), &cfg).unwrap();
+        assert!(report.ok(), "expect-entry verifies: {report:?}");
+        assert_eq!(report.regen_ok, None);
+
+        // Without the budget the expectation cannot be met in bounded
+        // time, so a round-limit class shows up as the wrong failure.
+        let mut unbudgeted = back.clone();
+        unbudgeted.max_tuples = None;
+        let report = verify_entry(&unbudgeted, &all_modes(), &cfg).unwrap();
+        assert!(!report.ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuzz_deadline_exhaustion_is_a_finding() {
+        let dir = tmp_dir("fuzz_deadline");
+        let cfg = ChaseConfig::default();
+        // A 0ms deadline trips at the first sweep of every scenario, so
+        // each try becomes a timeout finding rather than a hang.
+        let outcome = fuzz(2, 99, 1, Some(0), &dir, &cfg, |_, _| {}).unwrap();
+        assert_eq!(outcome.tried, 2);
+        assert_eq!(outcome.timed_out, 2);
+        assert_eq!(outcome.findings.len(), 2);
+        for f in &outcome.findings {
+            assert!(f.detail.contains("deadline"));
+            let entry = read_entry(&f.entry_dir).unwrap();
+            assert_eq!(entry.expect.as_deref(), Some("interrupted"));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn fuzz_clean_run_finds_nothing() {
         let dir = tmp_dir("fuzz");
         let cfg = ChaseConfig::default();
-        let outcome = fuzz(4, 99, 1, &dir, &cfg, |_, _| {}).unwrap();
+        let outcome = fuzz(4, 99, 1, None, &dir, &cfg, |_, _| {}).unwrap();
         assert_eq!(outcome.tried, 4);
         assert!(outcome.findings.is_empty());
+        assert_eq!(outcome.timed_out, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 }

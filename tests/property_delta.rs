@@ -358,6 +358,6 @@ proptest! {
             std::slice::from_ref(&dep),
             &ChaseConfig::default().with_max_rounds(25),
         );
-        prop_assert!(matches!(res, Err(ChaseError::RoundLimit { rounds: 25 })));
+        prop_assert!(matches!(res, Err(ChaseError::RoundLimit { rounds: 25, .. })));
     }
 }

@@ -1,0 +1,88 @@
+//! Kill/resume property tests: on randomly generated scenarios, force an
+//! interruption at a seeded random sweep via the `grom_fail` injection
+//! hooks, round-trip the resulting checkpoint through its JSON encoding,
+//! resume, and require the final instance to render identically (up to
+//! null renaming, via [`grom::data::canonical_render`]) to a run that was
+//! never interrupted — under every scheduler mode.
+//!
+//! This is the end-to-end contract behind `grom run --checkpoint/--resume`:
+//! a chase killed at any sweep boundary loses no work and converges to the
+//! same fixpoint after resuming from the serialized checkpoint.
+
+use proptest::prelude::*;
+
+use grom::chase::{
+    chase_resume, chase_standard_outcome, fail, ChaseConfig, ChaseOutcome, Checkpoint,
+    InterruptReason, SchedulerMode,
+};
+use grom::data::canonical_render;
+use grom::scenarios::{generate, random_spec};
+
+const MODES: [SchedulerMode; 4] = [
+    SchedulerMode::FullRescan,
+    SchedulerMode::Delta,
+    SchedulerMode::Parallel { threads: 2 },
+    SchedulerMode::Parallel { threads: 4 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kill_and_resume_reaches_the_uninterrupted_fixpoint(
+        seed in 0u64..100_000,
+        kill_sweep in 1u64..5,
+    ) {
+        // Fault plans are process-global; serialize against every other
+        // test that installs one.
+        let _guard = fail::test_lock();
+        fail::clear();
+
+        let scenario = generate(&random_spec(seed, 2));
+        let (deps, inst) = scenario.parts().expect("generated scenario parses");
+        let base = ChaseConfig::default().with_max_rounds(200);
+
+        for mode in MODES {
+            let cfg = base.clone().with_scheduler(mode);
+            let clean = match chase_standard_outcome(inst.clone(), &deps, &cfg) {
+                Ok(ChaseOutcome::Completed(r)) => r,
+                other => panic!("{mode:?}: uninterrupted run did not complete: {other:?}"),
+            };
+            let want = canonical_render(&clean.instance);
+
+            fail::install(&format!("sweep:interrupt@{kill_sweep}")).unwrap();
+            let killed = chase_standard_outcome(inst.clone(), &deps, &cfg);
+            fail::clear();
+            match killed {
+                Ok(ChaseOutcome::Interrupted(i)) => {
+                    prop_assert!(
+                        matches!(i.reason, InterruptReason::Fault),
+                        "{mode:?}: unexpected interrupt reason {:?}", i.reason
+                    );
+                    // The checkpoint must survive its JSON encoding.
+                    let json = i.checkpoint.to_json();
+                    let restored = Checkpoint::from_json(&json)
+                        .unwrap_or_else(|e| panic!("{mode:?}: checkpoint does not round-trip: {e}"));
+                    let resumed = match chase_resume(&restored, &deps, &cfg) {
+                        Ok(ChaseOutcome::Completed(r)) => r,
+                        other => panic!("{mode:?}: resume did not complete: {other:?}"),
+                    };
+                    prop_assert_eq!(
+                        canonical_render(&resumed.instance),
+                        want,
+                        "{:?}: resumed instance diverges from the uninterrupted run \
+                         (killed at sweep {}, spec {})",
+                        mode, kill_sweep, scenario.spec
+                    );
+                }
+                // The chase reached its fixpoint before sweep `kill_sweep`
+                // ever started: nothing to resume, but the armed directive
+                // must not have perturbed the result.
+                Ok(ChaseOutcome::Completed(r)) => {
+                    prop_assert_eq!(canonical_render(&r.instance), want);
+                }
+                other => panic!("{mode:?}: interrupted run failed hard: {other:?}"),
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::path::PathBuf;
 
-use grom::chase::{chase_standard, chase_standard_full_rescan, ChaseConfig, SchedulerMode};
+use grom::chase::{chase_standard, chase_standard_full_rescan, Budget, ChaseConfig, SchedulerMode};
 use grom::data::{canonical_render, Instance, SymbolTable};
 use grom::intern_dependencies;
 use grom::lang::Dependency;
@@ -41,11 +41,17 @@ fn chase_mode_interned(
 
 #[test]
 fn interned_storage_renders_identically_on_the_full_corpus() {
-    let cfg = ChaseConfig::default();
     let mut entries = 0usize;
     for path in list_entries(&corpus_dir()).expect("corpus/ readable") {
         let entry = read_entry(&path).expect("entry parses");
         let (deps, inst) = entry.parts().expect("entry parts");
+        // Respect the entry's committed budget: the `expect: interrupted`
+        // entries never terminate unbudgeted, and the interned path must
+        // agree with the plain one on the interruption class too.
+        let mut cfg = ChaseConfig::default();
+        if let Some(n) = entry.max_tuples {
+            cfg = cfg.with_budget(Budget::none().with_max_tuples(n as usize));
+        }
         for (mode_name, mode) in all_modes() {
             let plain = chase_mode(&deps, inst.clone(), mode, &cfg);
             let interned = chase_mode_interned(&deps, &inst, mode, &cfg);
