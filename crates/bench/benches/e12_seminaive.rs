@@ -1,0 +1,68 @@
+//! E12 — semi-naive evaluation on multi-anchor premises: the versioned
+//! delta scheduler vs the classical full-rescan loop on the composition
+//! chain of [`grom_bench::seminaive_workload`].
+//!
+//! Every premise `E{i}(x, y), E{i}(y, z)` reads the same relation at two
+//! positions, so each delta activation seeds both anchor positions. The
+//! old/new version split makes the scheduler enumerate each two-hop match
+//! exactly once (anchor scans new, the earlier atom scans old, the later
+//! one old ∪ new) — no dedup set on the hot path. Both schedulers must
+//! produce byte-identical instances (checked on every tier before timing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use grom::chase::{chase_standard, chase_standard_full_rescan};
+use grom::prelude::*;
+use grom_bench::workloads::seminaive_workload;
+
+const LEVELS: usize = 6;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_seminaive");
+    group.sample_size(10);
+
+    for &width in &[500usize, 2_000, 8_000] {
+        let (deps, inst) = seminaive_workload(LEVELS, width);
+        let cfg = ChaseConfig::default();
+
+        // Equivalence check before timing: identical final instances.
+        let naive = chase_standard_full_rescan(inst.clone(), &deps, &cfg)
+            .expect("full-rescan chase succeeds");
+        let delta = chase_standard(inst.clone(), &deps, &cfg).expect("delta chase succeeds");
+        assert_eq!(
+            naive.instance.to_string(),
+            delta.instance.to_string(),
+            "schedulers disagree at width {width}"
+        );
+
+        group.throughput(Throughput::Elements(delta.instance.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("naive", width),
+            &(&deps, &inst),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    chase_standard_full_rescan((*inst).clone(), deps, &cfg)
+                        .expect("chase succeeds")
+                        .instance
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("delta", width),
+            &(&deps, &inst),
+            |b, (deps, inst)| {
+                b.iter(|| {
+                    chase_standard((*inst).clone(), deps, &cfg)
+                        .expect("chase succeeds")
+                        .instance
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -706,6 +706,77 @@ fn e11() -> Table {
     t
 }
 
+/// E12 — semi-naive evaluation on multi-anchor premises: the old/new
+/// version split vs the full-rescan reference on the composition chain of
+/// [`grom_bench::seminaive_workload`]. Every premise reads the same
+/// relation at two positions, so each delta activation seeds both anchor
+/// positions and only the versioned split keeps enumeration exactly-once
+/// without a dedup set. Instances must be byte-identical. The zero-wall
+/// stats rows surface the delta counters (true match counts under the
+/// exactly-once contract) without being gated on.
+fn e12() -> Table {
+    use grom::chase::{chase_standard, chase_standard_full_rescan};
+    let mut t = Table::new(
+        "E12: semi-naive multi-anchor composition chain (6 levels)",
+        &[
+            "width",
+            "tuples",
+            "naive ms",
+            "delta ms",
+            "speedup",
+            "identical",
+        ],
+    );
+    let levels = 6;
+    for width in tiers(&[1_000usize, 4_000, 16_000], &[500, 2_000]) {
+        let width = width * scale();
+        let (deps, inst) = seminaive_workload(levels, width);
+        let cfg = ChaseConfig::default();
+        let t0 = Instant::now();
+        let naive = chase_standard_full_rescan(inst.clone(), &deps, &cfg)
+            .expect("full-rescan chase succeeds");
+        let naive_ms = t0.elapsed();
+        let t1 = Instant::now();
+        let delta = chase_standard(inst, &deps, &cfg).expect("delta chase succeeds");
+        let delta_ms = t1.elapsed();
+        let identical = naive.instance.to_string() == delta.instance.to_string();
+        assert!(identical, "schedulers disagree at width {width}");
+        record(
+            format!("e12/naive/width={width}"),
+            ms_f(naive_ms),
+            naive.instance.len() as u64,
+        );
+        record(
+            format!("e12/delta/width={width}"),
+            ms_f(delta_ms),
+            delta.instance.len() as u64,
+        );
+        record(
+            format!("e12/stats/width={width}/delta_acts"),
+            0.0,
+            delta.profile.total_delta_activations(),
+        );
+        record(
+            format!("e12/stats/width={width}/delta_hit_pct"),
+            0.0,
+            delta
+                .profile
+                .delta_hit_rate()
+                .map_or(0, |r| (100.0 * r).round() as u64),
+        );
+        let speedup = naive_ms.as_secs_f64() / delta_ms.as_secs_f64().max(1e-9);
+        t.row(vec![
+            width.to_string(),
+            delta.instance.len().to_string(),
+            ms(naive_ms),
+            ms(delta_ms),
+            format!("{speedup:.1}x"),
+            identical.to_string(),
+        ]);
+    }
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -726,6 +797,7 @@ fn main() {
         ("e9", e9),
         ("e10", e10),
         ("e11", e11),
+        ("e12", e12),
     ];
     for (name, f) in experiments {
         if want(name) {

@@ -230,6 +230,40 @@ pub fn delta_scaling_workload(depth: usize, width: usize) -> (Vec<Dependency>, I
     (prog.deps, inst)
 }
 
+/// E12: the semi-naive separation workload — a chain of *multi-anchor*
+/// composition tgds
+///
+/// ```text
+/// c{i}:  E{i}(x, y), E{i}(y, z)  ->  E{i+1}(x, z)
+/// ```
+///
+/// over a path graph `E0 = {(v, v+1) | v < width}`, declared in reverse
+/// order as in [`delta_scaling_workload`]. Every premise reads the *same*
+/// relation at two positions, so each delta activation seeds **both**
+/// anchor positions: without old/new versioning the scheduler would
+/// enumerate each two-hop match once per anchor and need a dedup set to
+/// stay correct, while the semi-naive split (anchor scans new, earlier
+/// atoms scan old, later atoms scan old ∪ new) enumerates it exactly once.
+/// Level `k` holds the stride-`2^k` hops `(v, v + 2^k)` — the instance
+/// stays linear in `width` while every sweep is join-heavy. Constants
+/// only: all scheduler modes must produce byte-identical instances.
+pub fn seminaive_workload(levels: usize, width: usize) -> (Vec<Dependency>, Instance) {
+    let mut text = String::new();
+    for i in (0..levels).rev() {
+        text.push_str(&format!(
+            "tgd c{i}: E{i}(x, y), E{i}(y, z) -> E{}(x, z).\n",
+            i + 1
+        ));
+    }
+    let prog = Program::parse(&text).expect("generated semi-naive workload parses");
+    let mut inst = Instance::new();
+    for v in 0..width {
+        inst.add("E0", vec![Value::int(v as i64), Value::int(v as i64 + 1)])
+            .expect("fresh relation");
+    }
+    (prog.deps, inst)
+}
+
 /// E8: the parallel-executor separation workload — `partitions`
 /// *independent* copy chains (disjoint relations `P{p}L{i}`, reverse
 /// declaration order as in [`delta_scaling_workload`]), each joining a
@@ -545,6 +579,24 @@ mod tests {
         assert!(delta.stats.delta_activations >= 5);
         assert!(naive.stats.full_rescans == 0 && naive.stats.delta_activations == 0);
         assert!(delta.stats.rounds >= 6);
+    }
+
+    #[test]
+    fn seminaive_workload_agrees_across_schedulers() {
+        use grom::chase::{chase_standard, chase_standard_full_rescan};
+        let (deps, inst) = seminaive_workload(4, 20);
+        assert_eq!(deps.len(), 4);
+        let cfg = ChaseConfig::default();
+        let delta = chase_standard(inst.clone(), &deps, &cfg).unwrap();
+        let naive = chase_standard_full_rescan(inst, &deps, &cfg).unwrap();
+        // Constants only: byte-identical instances.
+        assert_eq!(delta.instance.to_string(), naive.instance.to_string());
+        // Level k holds the stride-2^k hops (v, v + 2^k): width - 2^k + 1
+        // tuples. 20 + 19 + 17 + 13 + 5.
+        assert_eq!(delta.instance.len(), 74);
+        // The multi-anchor deltas actually drive the run: every level past
+        // the seed activates on its predecessor's insertions.
+        assert!(delta.stats.delta_activations >= 3);
     }
 
     #[test]

@@ -142,7 +142,7 @@ impl Checkpoint {
 
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("{\"version\":1");
+        let mut out = String::from("{\"version\":2");
         let _ = write!(
             out,
             ",\"mode\":\"{}\",\"rounds\":{},\"next_null\":{}",
@@ -169,11 +169,31 @@ impl Checkpoint {
                 Pending::Idle => out.push_str("{\"kind\":\"idle\"}"),
                 Pending::Full => out.push_str("{\"kind\":\"full\"}"),
                 Pending::Delta(map) => {
+                    // v2 records the old/new partition of each delta entry
+                    // alongside the tuples. Every pending tuple is *new*
+                    // (unclaimed work awaiting its semi-naive anchor scan),
+                    // so the partition is the per-relation count of the
+                    // serialized lists — written explicitly so a reader can
+                    // validate the claim-time cursor arithmetic against the
+                    // checkpoint instead of trusting it.
+                    let di = delta_to_instance(map);
                     let _ = write!(
                         out,
-                        "{{\"kind\":\"delta\",\"tuples\":\"{}\"}}",
-                        json::escape(&write_instance(&delta_to_instance(map)))
+                        "{{\"kind\":\"delta\",\"tuples\":\"{}\",\"new\":{{",
+                        json::escape(&write_instance(&di))
                     );
+                    for (j, rel) in di.relation_names().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(
+                            out,
+                            "\"{}\":{}",
+                            json::escape(rel),
+                            di.tuples(rel).count()
+                        );
+                    }
+                    out.push_str("}}");
                 }
             }
         }
@@ -187,7 +207,10 @@ impl Checkpoint {
             .get("version")
             .and_then(JsonValue::as_u64)
             .ok_or("checkpoint has no version")?;
-        if version != 1 {
+        // v1 carries the same payload without the partition record; all its
+        // checkpointed delta tuples are treated as new, which is what they
+        // are (pending work is never half-promoted at a sweep boundary).
+        if version != 1 && version != 2 {
             return Err(format!("unsupported checkpoint version {version}"));
         }
         let mode = v
@@ -233,7 +256,24 @@ impl Checkpoint {
                         .and_then(JsonValue::as_str)
                         .ok_or("delta pending entry has no tuples")?;
                     let di = read_instance(text).map_err(|e| format!("checkpoint delta: {e}"))?;
-                    Pending::Delta(instance_to_delta(&di))
+                    let map = instance_to_delta(&di);
+                    // v2 checkpoints record the partition; validate it
+                    // against the parsed lists so a truncated or edited
+                    // tuple block cannot silently shift the old/new split.
+                    if let Some(JsonValue::Obj(counts)) = item.get("new") {
+                        for (rel, count) in counts {
+                            let have = map.get(rel.as_str()).map_or(0, Vec::len) as u64;
+                            if count.as_u64() != Some(have) {
+                                return Err(format!(
+                                    "delta partition mismatch for `{rel}`: \
+                                     recorded {count:?} new tuples, parsed {have}"
+                                ));
+                            }
+                        }
+                    } else if version >= 2 {
+                        return Err("v2 delta pending entry has no partition record".into());
+                    }
+                    Pending::Delta(map)
                 }
                 other => return Err(format!("unknown pending kind `{other}`")),
             });
@@ -298,8 +338,10 @@ fn delta_to_instance(map: &BTreeMap<Arc<str>, Vec<Tuple>>) -> Instance {
     let mut out = Instance::new();
     for (rel, tuples) in map {
         for t in tuples {
-            // Duplicate delta tuples collapse here; harmless, since delta
-            // violation seeding deduplicates bindings anyway.
+            // Scheduler delta lists are duplicate-free (the delta log only
+            // records genuinely new inserts), so this dedup is a no-op; it
+            // also guards the trailing-rows invariant the semi-naive split
+            // relies on, since a duplicate would inflate the claimed count.
             let _ = out.insert(rel, t.clone());
         }
     }
@@ -424,9 +466,43 @@ mod tests {
     fn malformed_checkpoints_are_rejected() {
         assert!(Checkpoint::from_json("{}").is_err());
         assert!(Checkpoint::from_json("{\"version\":2}").is_err());
+        assert!(Checkpoint::from_json("{\"version\":3}").is_err());
         assert!(Checkpoint::from_json("not json").is_err());
         let cp = sample();
         let truncated = &cp.to_json()[..40];
         assert!(Checkpoint::from_json(truncated).is_err());
+    }
+
+    #[test]
+    fn v2_envelope_records_and_validates_the_partition() {
+        let cp = sample();
+        let text = cp.to_json();
+        assert!(text.starts_with("{\"version\":2"));
+        // The sample's one delta entry holds one new S tuple.
+        assert!(text.contains("\"new\":{\"S\":1}"), "{text}");
+        // Tampering with the recorded partition is detected.
+        let tampered = text.replace("\"new\":{\"S\":1}", "\"new\":{\"S\":7}");
+        let err = Checkpoint::from_json(&tampered).unwrap_err();
+        assert!(err.contains("partition mismatch"), "{err}");
+        // A v2 delta entry without a partition record is rejected.
+        let stripped = text.replace(",\"new\":{\"S\":1}", "");
+        assert!(Checkpoint::from_json(&stripped).is_err());
+    }
+
+    #[test]
+    fn v1_checkpoints_read_as_all_new() {
+        // A v1 envelope is a v2 envelope without partition records; every
+        // checkpointed delta tuple is treated as new.
+        let cp = sample();
+        let v1 = cp
+            .to_json()
+            .replace("{\"version\":2", "{\"version\":1")
+            .replace(",\"new\":{\"S\":1}", "");
+        let back = Checkpoint::from_json(&v1).unwrap();
+        assert_eq!(back.mode, cp.mode);
+        match (&back.pending[2], &cp.pending[2]) {
+            (Pending::Delta(a), Pending::Delta(b)) => assert_eq!(a, b),
+            other => panic!("v1 delta slot did not read back: {other:?}"),
+        }
     }
 }

@@ -356,6 +356,13 @@ fn run_group_job(
             }
         };
 
+        // Idempotent repairs skip the recheck, exactly as in the
+        // sequential loop: the view's insert dedups against both layers,
+        // and with no equalities the local overlay cannot grow mid-batch.
+        let direct = !violations.is_empty()
+            && base_nulls.is_empty()
+            && local.is_empty()
+            && crate::scheduler::idempotent_repair(dep);
         for b in &violations {
             // Satisfied-under-pending-obligations recheck against the
             // overlay: earlier repairs of this job may already satisfy
@@ -363,7 +370,9 @@ fn run_group_job(
             // labels anywhere (egd-free sweeps, the common case) the
             // resolution is the identity and the raw bindings are checked
             // directly.
-            let satisfied = if base_nulls.is_empty() && local.is_empty() {
+            let satisfied = if direct {
+                false
+            } else if base_nulls.is_empty() && local.is_empty() {
                 disjunct_satisfied(&view, &dep.disjuncts[0], b)
             } else {
                 disjunct_satisfied_resolved(&view, &dep.disjuncts[0], b, &mut |v| {

@@ -43,7 +43,8 @@ pub struct ChaseStats {
     pub delta_tuples_seeded: usize,
     /// Delta scheduler: delta tuples skipped by the anchor arity check in
     /// `evaluate_body_from_delta` (stale entries from an arity-drifted
-    /// relation; counted once per anchor position).
+    /// relation; counted once per stale tuple, regardless of how many
+    /// anchor positions its relation has).
     pub stale_delta_skipped: usize,
     /// Instance-wide null substitution passes applied on behalf of egd
     /// enforcement. The batched Delta/Parallel schedulers apply exactly

@@ -11,7 +11,27 @@
 //!   [`DeltaLog`] of `grom-data`);
 //! * premise evaluation is seeded from the delta tuples only
 //!   ([`grom_engine::evaluate_body_from_delta`] anchors one premise atom to
-//!   a delta tuple and joins the rest against the full instance).
+//!   a delta tuple and joins the rest with the semi-naive old/new version
+//!   split: premise atoms before the anchor read only the *old* half of
+//!   their relation — everything except the claimed delta — so each match
+//!   is enumerated exactly once across anchor positions).
+//!
+//! ## Old/new versioning and the claim-time promote
+//!
+//! The version split leans on a storage invariant instead of stored
+//! promotion state: relation rows only append (`grom-data` tombstones and
+//! re-appends on null substitution), and a claimed delta's tuples for a
+//! relation are exactly that relation's most recently inserted live rows.
+//! This holds because substitution re-marks every reader of a rewritten
+//! relation `Full` (dropping its deltas), conclusion-overlapping
+//! dependencies share a conflict group (so only one writer appends to a
+//! relation between claims), and worklist routing only ever appends to or
+//! trims the front of a pending list. `delta_violations` therefore
+//! "promotes" implicitly: at claim time it asks the storage for the cursor
+//! splitting off the last `n` rows ([`grom_engine::Db::cursor_before_last_rel`]);
+//! everything below is old, and the next claim recomputes the cursor
+//! against the rows appended since. Debug builds assert the exactly-once
+//! guarantee with the `seen`-set check the split made redundant.
 //!
 //! Full premise rescans remain in exactly two places, both required for
 //! correctness: every dependency's **first** activation (the initial
@@ -59,7 +79,9 @@
 //! [`crate::core_min`] reuses the same changed-relation reporting to keep
 //! its null-occurrence index incremental.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+#[cfg(debug_assertions)]
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -239,12 +261,17 @@ impl Scheduler {
     }
 }
 
-/// Violating premise matches of `dep` seeded from per-relation deltas,
-/// deduplicated across anchor positions, in deterministic order. With
-/// `stop_at_first` (denials) at most one match is returned. Generic over
-/// [`Db`] so the parallel executor can evaluate against snapshot views.
-/// Stale delta tuples skipped by the anchor arity check are counted in
-/// `stats` instead of being dropped silently.
+/// Violating premise matches of `dep` seeded from per-relation deltas, in
+/// deterministic order. With `stop_at_first` (denials) at most one match is
+/// returned. Generic over [`Db`] so the parallel executor can evaluate
+/// against snapshot views. Stale delta tuples skipped by the anchor arity
+/// check are counted in `stats` instead of being dropped silently.
+///
+/// The semi-naive version split in [`evaluate_body_from_delta`] enumerates
+/// each match exactly once across anchor positions, so no dedup set is
+/// needed on the hot path and each surviving match is cloned exactly once
+/// into the output. Debug builds keep the historical `seen` set as an
+/// assertion that the split holds.
 pub(crate) fn delta_violations(
     db: &impl Db,
     dep: &Dependency,
@@ -252,23 +279,28 @@ pub(crate) fn delta_violations(
     stop_at_first: bool,
     stats: &mut ChaseStats,
 ) -> Vec<Bindings> {
+    let deltas: Vec<(&str, &[Tuple])> = delta
+        .iter()
+        .map(|(rel, tuples)| (rel.as_ref(), tuples.as_slice()))
+        .collect();
+    #[cfg(debug_assertions)]
     let mut seen: BTreeSet<Bindings> = BTreeSet::new();
-    let mut out = Vec::new();
-    for (rel, tuples) in delta {
-        stats.stale_delta_skipped += evaluate_body_from_delta(db, &dep.premise, rel, tuples, |b| {
-            if !dep.disjuncts.iter().any(|d| disjunct_satisfied(db, d, b)) && seen.insert(b.clone())
-            {
-                out.push(b.clone());
-                if stop_at_first {
-                    return Control::Stop;
-                }
+    let mut out: Vec<Bindings> = Vec::new();
+    stats.stale_delta_skipped += evaluate_body_from_delta(db, &dep.premise, &deltas, |b| {
+        if !dep.disjuncts.iter().any(|d| disjunct_satisfied(db, d, b)) {
+            #[cfg(debug_assertions)]
+            assert!(
+                seen.insert(b.clone()),
+                "semi-naive split enumerated a duplicate match for {}: {b}",
+                dep.name
+            );
+            out.push(b.clone());
+            if stop_at_first {
+                return Control::Stop;
             }
-            Control::Continue
-        });
-        if stop_at_first && !out.is_empty() {
-            break;
         }
-    }
+        Control::Continue
+    });
     out
 }
 
@@ -338,6 +370,11 @@ pub(crate) fn run_dep_sequential(
     };
 
     let mut any_merge = false;
+    // Idempotent repairs (ground single-disjunct conclusions) skip the
+    // recheck entirely: re-applying one is a dedup'd no-op, so the probe
+    // would only re-derive what `Instance::insert` decides anyway. The
+    // null map cannot grow mid-batch here (no equalities to record).
+    let direct = !violations.is_empty() && nullmap.is_empty() && idempotent_repair(dep);
     for b in &violations {
         // Satisfied-under-pending-obligations recheck: earlier repairs in
         // this batch may already satisfy the match even though the
@@ -346,7 +383,7 @@ pub(crate) fn run_dep_sequential(
         // identity, so the raw bindings are checked — and applied —
         // directly, skipping two clone-and-resolve passes per violation.
         if nullmap.is_empty() {
-            if disjunct_satisfied(inst, &dep.disjuncts[0], b) {
+            if !direct && disjunct_satisfied(inst, &dep.disjuncts[0], b) {
                 continue;
             }
             any_merge |= apply_disjunct(inst, dep, 0, b, nullmap, nullgen, stats)?;
@@ -393,6 +430,21 @@ pub(crate) fn run_dep_sequential(
 /// comparison-only disjuncts are binding-level checks and need neither.
 pub(crate) fn concludes_atoms(dep: &Dependency) -> bool {
     dep.disjuncts.iter().any(|d| !d.atoms.is_empty())
+}
+
+/// Is re-applying `dep`'s repair to an already-satisfied match a no-op? True
+/// for a single disjunct with no equalities and no existential variables:
+/// the conclusion is then a fixed set of ground atoms per premise match, and
+/// the insert-side dedup makes a redundant application invisible. The
+/// batched loops use this to skip the satisfied-under-pending-repairs
+/// recheck — one stored-instance probe per violation on the hot path.
+/// Dependencies with equalities, multiple disjuncts, or existentials (where
+/// a redundant application would invent a fresh, unmergeable null) keep the
+/// recheck.
+pub(crate) fn idempotent_repair(dep: &Dependency) -> bool {
+    dep.disjuncts.len() == 1
+        && dep.disjuncts[0].eqs.is_empty()
+        && dep.existential_vars(0).is_empty()
 }
 
 /// Apply one sweep's accumulated equality obligations: flatten the

@@ -44,6 +44,27 @@ use crate::value::{NullId, Value};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelId(pub u32);
 
+/// A version window over a relation's append-ordered slots, splitting the
+/// relation into an *old* and a *new* half around a slot cursor.
+///
+/// Rows are only ever appended (null substitution tombstones a slot and
+/// re-appends the rewritten tuple), so a slot cursor `c` cleanly versions a
+/// relation: live slots `< c` are the old half, live slots `>= c` the new
+/// half. The semi-naive delta evaluator in `grom-engine` scans premise
+/// atoms before its anchor old-only and the anchor new-only, so each match
+/// is enumerated exactly once across anchor positions. Cursors come from
+/// [`Relation::cursor_before_last`]; they are positional and only
+/// meaningful against the relation state they were computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Span {
+    /// All live rows (the unversioned view).
+    All,
+    /// Only live rows in slots strictly below the cursor (the *old* half).
+    Below(u32),
+    /// Only live rows in slots at or above the cursor (the *new* half).
+    AtLeast(u32),
+}
+
 /// A composite-key hash index over a set of column positions.
 ///
 /// Buckets are keyed by a 64-bit hash of the key values rather than the
@@ -235,6 +256,39 @@ impl Relation {
         self.rows.iter().filter_map(Option::as_ref)
     }
 
+    /// The slot just past the newest row: the cursor under which every
+    /// current row is *old* ([`Span::Below`] of it is the whole relation).
+    pub fn frontier(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    /// The cursor that splits off the last `n` live rows as the *new* half:
+    /// [`Span::AtLeast`] of the returned cursor covers exactly the `n`
+    /// most recently inserted live tuples, [`Span::Below`] everything
+    /// older. `n == 0` yields the [`Relation::frontier`] (nothing is new);
+    /// `n >= len()` yields 0 (everything is new).
+    ///
+    /// This is how the delta scheduler versions a relation at claim time:
+    /// a claimed delta of `n` tuples is, by the append-only row discipline,
+    /// exactly the relation's trailing `n` live rows, so the old/new split
+    /// needs no stored promotion state — "promote" is simply recomputing
+    /// the cursor against the next claim.
+    pub fn cursor_before_last(&self, n: usize) -> u32 {
+        if n == 0 {
+            return self.frontier();
+        }
+        let mut remaining = n;
+        for (i, slot) in self.rows.iter().enumerate().rev() {
+            if slot.is_some() {
+                remaining -= 1;
+                if remaining == 0 {
+                    return i as u32;
+                }
+            }
+        }
+        0
+    }
+
     /// Row ids whose column `col` equals (or once equaled) `value`. May
     /// contain stale entries; readers re-check the live tuple.
     fn rows_with(&self, col: usize, value: &Value) -> &[u32] {
@@ -290,6 +344,19 @@ impl Relation {
         pattern: &[Option<Value>],
         visit: &mut dyn FnMut(&'a Tuple) -> bool,
     ) -> bool {
+        self.scan_each_v(pattern, Span::All, visit)
+    }
+
+    /// [`Relation::scan_each`] restricted to one version half. Index
+    /// buckets hold row ids in ascending slot order (rows only append), so
+    /// a bucket is narrowed to the span with one `partition_point` — the
+    /// composite-key indexes stay coherent across both halves for free.
+    pub fn scan_each_v<'a>(
+        &'a self,
+        pattern: &[Option<Value>],
+        span: Span,
+        visit: &mut dyn FnMut(&'a Tuple) -> bool,
+    ) -> bool {
         debug_assert_eq!(Some(pattern.len()), self.arity.or(Some(pattern.len())));
         let matches = |t: &Tuple| {
             pattern
@@ -299,6 +366,11 @@ impl Relation {
         };
         match self.best_bucket(pattern) {
             Some(bucket) => {
+                let bucket = match span {
+                    Span::All => bucket,
+                    Span::Below(c) => &bucket[..bucket.partition_point(|&r| r < c)],
+                    Span::AtLeast(c) => &bucket[bucket.partition_point(|&r| r < c)..],
+                };
                 for &r in bucket {
                     if let Some(t) = self.rows[r as usize].as_ref() {
                         if matches(t) && !visit(t) {
@@ -308,7 +380,12 @@ impl Relation {
                 }
             }
             None => {
-                for t in self.iter() {
+                let rows = match span {
+                    Span::All => &self.rows[..],
+                    Span::Below(c) => &self.rows[..(c as usize).min(self.rows.len())],
+                    Span::AtLeast(c) => &self.rows[(c as usize).min(self.rows.len())..],
+                };
+                for t in rows.iter().filter_map(Option::as_ref) {
                     if matches(t) && !visit(t) {
                         return false;
                     }
@@ -337,9 +414,25 @@ impl Relation {
     /// planner in `grom-engine` uses this as its cardinality estimate.
     /// Stale entries may inflate the bound; never undercounts.
     pub fn estimate(&self, pattern: &[Option<Value>]) -> usize {
+        self.estimate_v(pattern, Span::All)
+    }
+
+    /// [`Relation::estimate`] restricted to one version half. The bucket
+    /// bound narrows with the same `partition_point` slice the versioned
+    /// scan uses; the unbound bound is the slot count of the half (which,
+    /// like `live`, may overcount by tombstones — never undercounts).
+    pub fn estimate_v(&self, pattern: &[Option<Value>], span: Span) -> usize {
         match self.best_bucket(pattern) {
-            Some(bucket) => bucket.len(),
-            None => self.live,
+            Some(bucket) => match span {
+                Span::All => bucket.len(),
+                Span::Below(c) => bucket.partition_point(|&r| r < c),
+                Span::AtLeast(c) => bucket.len() - bucket.partition_point(|&r| r < c),
+            },
+            None => match span {
+                Span::All => self.live,
+                Span::Below(c) => self.live.min(c as usize),
+                Span::AtLeast(c) => self.rows.len().saturating_sub(c as usize),
+            },
         }
     }
 
@@ -1250,5 +1343,113 @@ mod tests {
         ];
         let inst = Instance::from_facts(facts).unwrap();
         assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn cursor_before_last_splits_trailing_rows() {
+        let mut inst = Instance::new();
+        for i in 0..5 {
+            inst.add("R", vec![v(i)]).unwrap();
+        }
+        let rel = inst.relation("R").unwrap();
+        assert_eq!(rel.cursor_before_last(0), rel.frontier());
+        assert_eq!(rel.cursor_before_last(2), 3);
+        assert_eq!(rel.cursor_before_last(5), 0);
+        assert_eq!(rel.cursor_before_last(99), 0);
+        // Span::AtLeast of the cursor covers exactly the trailing n rows.
+        let c = rel.cursor_before_last(2);
+        let mut newer = Vec::new();
+        rel.scan_each_v(&[None], Span::AtLeast(c), &mut |t| {
+            newer.push(t.clone());
+            true
+        });
+        assert_eq!(
+            newer,
+            vec![Tuple::new(vec![v(3)]), Tuple::new(vec![v(4)])]
+        );
+    }
+
+    #[test]
+    fn cursor_before_last_counts_live_rows_across_tombstones() {
+        let mut inst = Instance::new();
+        inst.add("R", vec![Value::null(0)]).unwrap(); // slot 0, tombstoned
+        inst.add("R", vec![v(10)]).unwrap(); // slot 1
+        inst.add("R", vec![v(20)]).unwrap(); // slot 2
+        // Substitution tombstones slot 0 and re-appends the rewrite at slot 3.
+        inst.substitute_nulls(|id| (id == NullId(0)).then(|| v(30)));
+        let rel = inst.relation("R").unwrap();
+        assert_eq!(rel.len(), 3);
+        // The trailing 2 live rows are slots 2 and 3; the cursor must skip
+        // the tombstone at slot 0 when counting backward.
+        let c = rel.cursor_before_last(2);
+        assert_eq!(c, 2);
+        let mut older = Vec::new();
+        rel.scan_each_v(&[None], Span::Below(c), &mut |t| {
+            older.push(t.clone());
+            true
+        });
+        assert_eq!(older, vec![Tuple::new(vec![v(10)])]);
+    }
+
+    #[test]
+    fn versioned_scan_partitions_bucket_and_full_paths() {
+        let mut inst = Instance::new();
+        for i in 0..10 {
+            inst.add("R", vec![v(i % 3), v(i)]).unwrap();
+        }
+        let rel = inst.relation("R").unwrap();
+        let c = rel.cursor_before_last(4); // new half: i = 6..10
+        for pattern in [&[Some(v(0)), None][..], &[None, None][..]] {
+            let mut old = Vec::new();
+            rel.scan_each_v(pattern, Span::Below(c), &mut |t| {
+                old.push(t.clone());
+                true
+            });
+            let mut new = Vec::new();
+            rel.scan_each_v(pattern, Span::AtLeast(c), &mut |t| {
+                new.push(t.clone());
+                true
+            });
+            // The halves are disjoint and their union is the full scan.
+            let mut all = Vec::new();
+            rel.scan_each_v(pattern, Span::All, &mut |t| {
+                all.push(t.clone());
+                true
+            });
+            let mut union = old.clone();
+            union.extend(new.iter().cloned());
+            assert_eq!(union, all);
+            assert!(new
+                .iter()
+                .all(|t| t.get(1).is_some_and(|x| *x >= v(6))));
+            assert!(old
+                .iter()
+                .all(|t| t.get(1).is_some_and(|x| *x < v(6))));
+        }
+    }
+
+    #[test]
+    fn versioned_estimate_never_undercounts() {
+        let mut inst = Instance::new();
+        for i in 0..12 {
+            inst.add("R", vec![v(i % 4), v(i)]).unwrap();
+        }
+        let rel = inst.relation("R").unwrap();
+        let c = rel.cursor_before_last(5);
+        for pattern in [&[Some(v(1)), None][..], &[None, None][..]] {
+            for span in [Span::All, Span::Below(c), Span::AtLeast(c)] {
+                let mut count = 0usize;
+                rel.scan_each_v(pattern, span, &mut |_| {
+                    count += 1;
+                    true
+                });
+                assert!(
+                    rel.estimate_v(pattern, span) >= count,
+                    "estimate under span {span:?} undercounts"
+                );
+            }
+        }
+        assert_eq!(rel.estimate_v(&[None, None], Span::AtLeast(c)), 5);
+        assert_eq!(rel.estimate_v(&[None, None], Span::Below(c)), 7);
     }
 }

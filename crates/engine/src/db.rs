@@ -28,7 +28,7 @@
 //! default implementations over `resolve`, so existing callers and tests
 //! keep working; new code should resolve once and use the `_rel` forms.
 
-use grom_data::{Instance, RelId, Tuple, Value};
+use grom_data::{Instance, RelId, Span, Tuple, Value};
 
 /// Flow control for streaming evaluation and scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,21 @@ pub enum Control {
 /// [`Db::resolve`]. The payload encoding is implementation-defined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DbRel(pub u64);
+
+/// A version half of a relation, for semi-naive delta evaluation.
+///
+/// The cursor payload is an opaque value from
+/// [`Db::cursor_before_last_rel`] — like [`DbRel`] tokens, cursors are only
+/// meaningful on the database that issued them, and only against the
+/// database state they were computed from. `Old(c)` selects tuples strictly
+/// older than the cursor, `New(c)` the cursor's trailing tuples, `All` the
+/// unversioned view (`Old(c) ∪ New(c)` for any valid `c`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ver {
+    All,
+    Old(u64),
+    New(u64),
+}
 
 /// Read access to a set of relations, via pattern queries.
 ///
@@ -61,11 +76,38 @@ pub trait Db {
         rel: DbRel,
         pattern: &[Option<Value>],
         visit: &mut dyn FnMut(&'a Tuple) -> Control,
+    ) {
+        self.scan_rel_v(rel, pattern, Ver::All, visit);
+    }
+
+    /// [`Db::scan_rel`] restricted to one version half. Required (no
+    /// default): an implementation that ignored the version would silently
+    /// drop matches from the semi-naive split, so every [`Db`] must state
+    /// how it partitions its relations.
+    fn scan_rel_v<'a>(
+        &'a self,
+        rel: DbRel,
+        pattern: &[Option<Value>],
+        ver: Ver,
+        visit: &mut dyn FnMut(&'a Tuple) -> Control,
     );
 
     /// An index-based upper bound on the number of tuples of `rel` matching
     /// `pattern` — the join planner's cardinality estimate.
-    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize;
+    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize {
+        self.estimate_rel_v(rel, pattern, Ver::All)
+    }
+
+    /// [`Db::estimate_rel`] restricted to one version half.
+    fn estimate_rel_v(&self, rel: DbRel, pattern: &[Option<Value>], ver: Ver) -> usize;
+
+    /// The version cursor that splits off the last `n` tuples of `rel` as
+    /// its *new* half: [`Ver::New`] of the returned cursor covers exactly
+    /// the `n` most recently inserted tuples, [`Ver::Old`] everything
+    /// older. This is how the delta scheduler versions a relation at claim
+    /// time — a claimed delta of `n` tuples is, by the append-only row
+    /// discipline, exactly the relation's trailing `n` tuples.
+    fn cursor_before_last_rel(&self, rel: DbRel, n: usize) -> u64;
 
     /// Does any tuple of `rel` match `pattern`? Cheaper than a scan when
     /// only existence matters (negated literals, denial checks).
@@ -113,23 +155,39 @@ pub trait Db {
     }
 }
 
+/// Translate an engine-level version into a slot [`Span`] for a single
+/// [`grom_data::Relation`], whose cursors are slot indexes.
+fn span_of(ver: Ver) -> Span {
+    match ver {
+        Ver::All => Span::All,
+        Ver::Old(c) => Span::Below(c as u32),
+        Ver::New(c) => Span::AtLeast(c as u32),
+    }
+}
+
 impl Db for Instance {
     fn resolve(&self, relation: &str) -> Option<DbRel> {
         self.rel_id(relation).map(|RelId(id)| DbRel(u64::from(id)))
     }
 
-    fn scan_rel<'a>(
+    fn scan_rel_v<'a>(
         &'a self,
         rel: DbRel,
         pattern: &[Option<Value>],
+        ver: Ver,
         visit: &mut dyn FnMut(&'a Tuple) -> Control,
     ) {
         self.relation_by_id(RelId(rel.0 as u32))
-            .scan_each(pattern, &mut |t| visit(t) == Control::Continue);
+            .scan_each_v(pattern, span_of(ver), &mut |t| visit(t) == Control::Continue);
     }
 
-    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize {
-        self.relation_by_id(RelId(rel.0 as u32)).estimate(pattern)
+    fn estimate_rel_v(&self, rel: DbRel, pattern: &[Option<Value>], ver: Ver) -> usize {
+        self.relation_by_id(RelId(rel.0 as u32))
+            .estimate_v(pattern, span_of(ver))
+    }
+
+    fn cursor_before_last_rel(&self, rel: DbRel, n: usize) -> u64 {
+        u64::from(self.relation_by_id(RelId(rel.0 as u32)).cursor_before_last(n))
     }
 
     fn any_match_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> bool {
@@ -182,20 +240,26 @@ impl Db for PairDb<'_> {
         }
     }
 
-    fn scan_rel<'b>(
+    fn scan_rel_v<'b>(
         &'b self,
         rel: DbRel,
         pattern: &[Option<Value>],
+        ver: Ver,
         visit: &mut dyn FnMut(&'b Tuple) -> Control,
     ) {
         let (side, id) = self.decode(rel);
         side.relation_by_id(id)
-            .scan_each(pattern, &mut |t| visit(t) == Control::Continue);
+            .scan_each_v(pattern, span_of(ver), &mut |t| visit(t) == Control::Continue);
     }
 
-    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize {
+    fn estimate_rel_v(&self, rel: DbRel, pattern: &[Option<Value>], ver: Ver) -> usize {
         let (side, id) = self.decode(rel);
-        side.relation_by_id(id).estimate(pattern)
+        side.relation_by_id(id).estimate_v(pattern, span_of(ver))
+    }
+
+    fn cursor_before_last_rel(&self, rel: DbRel, n: usize) -> u64 {
+        let (side, id) = self.decode(rel);
+        u64::from(side.relation_by_id(id).cursor_before_last(n))
     }
 
     fn any_match_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> bool {
@@ -255,6 +319,34 @@ mod tests {
             }
         });
         assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn versioned_scans_split_old_and_new() {
+        let mut a = Instance::new();
+        for i in 0..6 {
+            a.add("S", vec![Value::int(i)]).unwrap();
+        }
+        let b = Instance::new();
+        let db = PairDb::new(&a, &b);
+        let s = db.resolve("S").unwrap();
+        let c = db.cursor_before_last_rel(s, 2);
+        let collect = |ver: Ver| {
+            let mut out = Vec::new();
+            db.scan_rel_v(s, &[None], ver, &mut |t| {
+                out.push(t.get(0).cloned().unwrap());
+                Control::Continue
+            });
+            out
+        };
+        assert_eq!(collect(Ver::New(c)), vec![Value::int(4), Value::int(5)]);
+        assert_eq!(collect(Ver::Old(c)).len(), 4);
+        assert_eq!(collect(Ver::All).len(), 6);
+        assert_eq!(db.estimate_rel_v(s, &[None], Ver::New(c)), 2);
+        // n = 0 puts everything in the old half.
+        let frontier = db.cursor_before_last_rel(s, 0);
+        assert!(collect(Ver::New(frontier)).is_empty());
+        assert_eq!(collect(Ver::Old(frontier)).len(), 6);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use grom_lang::{Atom, Bindings, Literal, Term, Var};
 
-use crate::db::{Db, DbRel};
+use crate::db::{Db, DbRel, Ver};
 
 pub use crate::db::Control;
 
@@ -165,7 +165,7 @@ pub fn evaluate_body_streaming(
     }
 
     let rels = resolve_body(db, body);
-    let mut remaining: Vec<&Literal> = body.iter().collect();
+    let mut remaining: Vec<(&Literal, Ver)> = body.iter().map(|l| (l, Ver::All)).collect();
     let mut bindings = seed.clone();
     solve(
         db,
@@ -177,32 +177,43 @@ pub fn evaluate_body_streaming(
     );
 }
 
-/// Delta-seeded (semi-naive) evaluation: enumerate solutions of `body` that
-/// use at least one tuple of `delta_tuples` in a positive atom over
-/// `delta_relation`.
+/// Delta-seeded semi-naive evaluation: enumerate solutions of `body` that
+/// use at least one tuple of `deltas` in a positive atom, each solution
+/// exactly once.
 ///
-/// For every positive atom whose predicate is `delta_relation`, each delta
-/// tuple is bound to that atom (the *anchor*) and the remaining literals
-/// are joined against the full database. This is the entry point of the
-/// delta-driven chase scheduler in `grom-chase`: instead of rescanning a
-/// dependency's premise against the whole instance every round, the
-/// scheduler seeds evaluation from the tuples inserted since the premise
-/// was last checked.
+/// `deltas` maps relation names to the tuples inserted since the premise
+/// was last checked. For every positive atom whose predicate has a delta
+/// entry, each delta tuple is bound to that atom (the *anchor*) and the
+/// remaining literals are joined with the semi-naive version split:
+/// positive atoms **before** the anchor that read a delta relation see only
+/// that relation's *old* half ([`Ver::Old`] of the cursor that excludes the
+/// delta), atoms after the anchor and non-delta atoms see everything, and
+/// negations/comparisons always check the full database. A solution whose
+/// first (in body position order) new tuple sits at position `p` is
+/// therefore enumerated only with `p` as the anchor — at any later anchor,
+/// position `p` reads the old half, which excludes its tuple. No caller-side
+/// deduplication is needed; the chase scheduler asserts this in debug
+/// builds.
 ///
-/// A solution that uses delta tuples in *several* anchor positions is
-/// enumerated once per anchor; callers that need set semantics must
-/// deduplicate (the chase scheduler does).
+/// The versioning relies on the scheduler's claim discipline: each delta
+/// list holds exactly the relation's most recently inserted tuples, so
+/// [`Db::cursor_before_last_rel`] of the list length separates the relation
+/// into "everything except this delta" and "this delta".
+///
+/// This is the entry point of the delta-driven chase scheduler in
+/// `grom-chase`: instead of rescanning a dependency's premise against the
+/// whole instance every round, the scheduler seeds evaluation from the
+/// tuples inserted since the premise was last checked.
 ///
 /// Returns the number of delta tuples skipped by the anchor arity check —
 /// stale entries logged before their relation's arity drifted. Callers
 /// surface this in their statistics (`ChaseStats::stale_delta_skipped` in
-/// the chase) instead of dropping the tuples silently; one tuple skipped
-/// at several anchor positions counts once per position.
+/// the chase) instead of dropping the tuples silently; each stale tuple
+/// counts once, regardless of how many anchor positions its relation has.
 pub fn evaluate_body_from_delta(
     db: &impl Db,
     body: &[Literal],
-    delta_relation: &str,
-    delta_tuples: &[grom_data::Tuple],
+    deltas: &[(&str, &[grom_data::Tuple])],
     mut visit: impl FnMut(&Bindings) -> Control,
 ) -> usize {
     let mut bindable: BTreeSet<Var> = BTreeSet::new();
@@ -213,25 +224,54 @@ pub fn evaluate_body_from_delta(
     }
 
     let rels = resolve_body(db, body);
+    // Old/new cursor per delta relation, computed once against the current
+    // database state. Absent relations get no cursor; their premise atoms
+    // cannot match stored tuples anyway, so they keep the unversioned view.
+    let cursors: BTreeMap<&str, u64> = deltas
+        .iter()
+        .filter_map(|(name, tuples)| {
+            let rel = rels.get(name).copied().flatten()?;
+            Some((*name, db.cursor_before_last_rel(rel, tuples.len())))
+        })
+        .collect();
+
     let mut stale_skipped = 0;
+    let mut counted: BTreeSet<&str> = BTreeSet::new();
+    let mut bindings = Bindings::new();
     for anchor in 0..body.len() {
         let Literal::Pos(atom) = &body[anchor] else {
             continue;
         };
-        if atom.predicate.as_ref() != delta_relation {
+        let Some((_, delta_tuples)) = deltas
+            .iter()
+            .find(|(name, _)| *name == atom.predicate.as_ref())
+        else {
             continue;
-        }
-        let mut remaining: Vec<&Literal> = body
+        };
+        // Stale tuples are counted at their relation's first anchor
+        // position only, so the count reflects tuples, not re-visits.
+        let count_stale_here = counted.insert(atom.predicate.as_ref());
+        let mut remaining: Vec<(&Literal, Ver)> = body
             .iter()
             .enumerate()
-            .filter_map(|(i, l)| (i != anchor).then_some(l))
+            .filter(|&(i, _)| i != anchor)
+            .map(|(i, l)| {
+                let ver = match l {
+                    Literal::Pos(a) if i < anchor => cursors
+                        .get(a.predicate.as_ref())
+                        .map_or(Ver::All, |&c| Ver::Old(c)),
+                    _ => Ver::All,
+                };
+                (l, ver)
+            })
             .collect();
-        let mut bindings = Bindings::new();
-        for tuple in delta_tuples {
+        for tuple in *delta_tuples {
             if tuple.arity() != atom.args.len() {
                 // Stale delta from an arity-drifted relation: counted, not
                 // silently dropped.
-                stale_skipped += 1;
+                if count_stale_here {
+                    stale_skipped += 1;
+                }
                 continue;
             }
             // One Bindings reused across delta tuples: cleared (keeping its
@@ -321,9 +361,14 @@ fn bind_tuple(atom: &Atom, tuple: &grom_data::Tuple, bindings: &mut Bindings) ->
     Some(bound_here)
 }
 
+/// Each remaining literal carries the version half its scans are restricted
+/// to: [`Ver::All`] everywhere except the semi-naive delta path, where
+/// pre-anchor atoms over delta relations read [`Ver::Old`]. Filters
+/// (negations, comparisons) ignore the version — they always check the full
+/// database.
 fn solve(
     db: &impl Db,
-    remaining: &mut Vec<&Literal>,
+    remaining: &mut Vec<(&Literal, Ver)>,
     bindings: &mut Bindings,
     rels: &RelMap<'_>,
     bindable: &BTreeSet<Var>,
@@ -336,15 +381,15 @@ fn solve(
     // 1. Run any ready filter (comparison / negation) first.
     if let Some(i) = remaining
         .iter()
-        .position(|l| filter_ready(l, bindings, bindable))
+        .position(|(l, _)| filter_ready(l, bindings, bindable))
     {
-        let lit = remaining.remove(i);
-        let ctrl = if run_filter(db, lit, bindings, rels) {
+        let entry = remaining.remove(i);
+        let ctrl = if run_filter(db, entry.0, bindings, rels) {
             solve(db, remaining, bindings, rels, bindable, visit)
         } else {
             Control::Continue
         };
-        remaining.insert(i, lit);
+        remaining.insert(i, entry);
         return ctrl;
     }
 
@@ -355,13 +400,13 @@ fn solve(
     //    short-circuit the whole conjunction.
     let mut best: Option<(usize, Option<DbRel>, usize)> = None; // (idx, token, estimate)
     let mut scratch: Vec<Option<grom_data::Value>> = Vec::new();
-    for (i, lit) in remaining.iter().enumerate() {
+    for (i, (lit, ver)) in remaining.iter().enumerate() {
         if let Literal::Pos(a) = lit {
             let rel = rels.get(a.predicate.as_ref()).copied().flatten();
             let estimate = match rel {
                 Some(rel) => {
                     bindings.atom_pattern_into(a, &mut scratch);
-                    db.estimate_rel(rel, &scratch)
+                    db.estimate_rel_v(rel, &scratch, *ver)
                 }
                 None => 0,
             };
@@ -382,15 +427,15 @@ fn solve(
         return Control::Continue;
     };
 
-    let lit = remaining.remove(i);
-    let atom = match lit {
-        Literal::Pos(a) => a,
+    let entry = remaining.remove(i);
+    let (atom, ver) = match entry {
+        (Literal::Pos(a), ver) => (a, ver),
         _ => unreachable!(),
     };
     bindings.atom_pattern_into(atom, &mut scratch);
     let pattern = scratch;
     let mut ctrl = Control::Continue;
-    db.scan_rel(rel, &pattern, &mut |tuple| {
+    db.scan_rel_v(rel, &pattern, ver, &mut |tuple| {
         if let Some(bound_here) = bind_tuple(atom, tuple, bindings) {
             let c = solve(db, remaining, bindings, rels, bindable, visit);
             for v in &bound_here {
@@ -403,7 +448,7 @@ fn solve(
         }
         Control::Continue
     });
-    remaining.insert(i, lit);
+    remaining.insert(i, entry);
     ctrl
 }
 
@@ -597,7 +642,7 @@ mod tests {
         ];
         let delta = vec![grom_data::Tuple::new(vec![Value::int(2), Value::int(3)])];
         let mut sols = Vec::new();
-        evaluate_body_from_delta(&inst, &body, "E", &delta, |b| {
+        evaluate_body_from_delta(&inst, &body, &[("E", &delta)], |b| {
             sols.push(b.clone());
             Control::Continue
         });
@@ -608,7 +653,7 @@ mod tests {
         }
         // A delta on an unrelated relation seeds nothing.
         let mut count = 0;
-        evaluate_body_from_delta(&inst, &body, "L", &delta, |_| {
+        evaluate_body_from_delta(&inst, &body, &[("L", &delta)], |_| {
             count += 1;
             Control::Continue
         });
@@ -619,7 +664,7 @@ mod tests {
     fn delta_seeding_counts_stale_arity_skips() {
         let inst = db();
         // E has arity 2; a unary delta tuple is stale and must be counted
-        // once per anchor position, never silently dropped.
+        // once — not once per anchor position — and never silently dropped.
         let body = vec![
             Literal::Pos(atom("E", &["x", "y"])),
             Literal::Pos(atom("E", &["y", "z"])),
@@ -629,14 +674,14 @@ mod tests {
             grom_data::Tuple::new(vec![Value::int(2), Value::int(3)]),
         ];
         let mut sols = 0;
-        let skipped = evaluate_body_from_delta(&inst, &body, "E", &delta, |_| {
+        let skipped = evaluate_body_from_delta(&inst, &body, &[("E", &delta)], |_| {
             sols += 1;
             Control::Continue
         });
-        assert_eq!(skipped, 2); // the stale tuple, at both anchors
+        assert_eq!(skipped, 1); // the stale tuple, once despite two anchors
         assert_eq!(sols, 2); // the well-formed tuple still seeds matches
         let skipped =
-            evaluate_body_from_delta(&inst, &body, "E", &delta[1..], |_| Control::Continue);
+            evaluate_body_from_delta(&inst, &body, &[("E", &delta[1..])], |_| Control::Continue);
         assert_eq!(skipped, 0);
     }
 
@@ -653,7 +698,7 @@ mod tests {
             grom_data::Tuple::new(vec![Value::int(2), Value::str("b")]),
         ];
         let mut sols = Vec::new();
-        evaluate_body_from_delta(&inst, &body, "L", &delta, |b| {
+        evaluate_body_from_delta(&inst, &body, &[("L", &delta)], |b| {
             sols.push(b.clone());
             Control::Continue
         });
@@ -664,9 +709,61 @@ mod tests {
         let body = vec![Literal::Pos(atom("E", &["x", "y"]))];
         let delta: Vec<grom_data::Tuple> = inst.tuples("E").cloned().collect();
         let mut count = 0;
-        evaluate_body_from_delta(&inst, &body, "E", &delta, |_| {
+        evaluate_body_from_delta(&inst, &body, &[("E", &delta)], |_| {
             count += 1;
             Control::Stop
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn delta_seeding_enumerates_each_match_exactly_once() {
+        // E = (0,1), (1,2), (2,3); the trailing two rows are the delta. The
+        // path body E(x,y), E(y,z) has two anchors over E, and the match
+        // (1,2)-(2,3) uses delta tuples at *both* positions: the old
+        // per-anchor enumeration yielded it twice, the semi-naive split must
+        // yield it only at its first new position (anchor 0).
+        let mut inst = Instance::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            inst.add("E", vec![Value::int(a), Value::int(b)]).unwrap();
+        }
+        let delta = vec![
+            grom_data::Tuple::new(vec![Value::int(1), Value::int(2)]),
+            grom_data::Tuple::new(vec![Value::int(2), Value::int(3)]),
+        ];
+        let body = vec![
+            Literal::Pos(atom("E", &["x", "y"])),
+            Literal::Pos(atom("E", &["y", "z"])),
+        ];
+        let mut sols = Vec::new();
+        evaluate_body_from_delta(&inst, &body, &[("E", &delta)], |b| {
+            sols.push(b.clone());
+            Control::Continue
+        });
+        // (0,1)-(1,2) anchored at position 1, (1,2)-(2,3) anchored at
+        // position 0 — and nowhere else.
+        assert_eq!(sols.len(), 2);
+        let mut dedup = sols.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sols.len(), "duplicate enumeration: {sols:?}");
+
+        // A multi-relation delta finds the cross-relation match exactly once
+        // as well: new-R at position 0 joined with new-S at position 1 is
+        // anchored at position 0 only.
+        let mut inst = Instance::new();
+        inst.add("R", vec![Value::int(1), Value::int(2)]).unwrap();
+        inst.add("S", vec![Value::int(2), Value::int(3)]).unwrap();
+        let dr = vec![grom_data::Tuple::new(vec![Value::int(1), Value::int(2)])];
+        let ds = vec![grom_data::Tuple::new(vec![Value::int(2), Value::int(3)])];
+        let body = vec![
+            Literal::Pos(atom("R", &["x", "y"])),
+            Literal::Pos(atom("S", &["y", "z"])),
+        ];
+        let mut count = 0;
+        evaluate_body_from_delta(&inst, &body, &[("R", &dr), ("S", &ds)], |_| {
+            count += 1;
+            Control::Continue
         });
         assert_eq!(count, 1);
     }

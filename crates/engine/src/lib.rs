@@ -26,7 +26,7 @@ pub mod materialize;
 pub mod query;
 pub mod satisfy;
 
-pub use db::{Db, DbRel, PairDb};
+pub use db::{Db, DbRel, PairDb, Ver};
 pub use eval::{
     embed_atoms, evaluate_body, evaluate_body_from_delta, evaluate_body_streaming, has_match,
     Control,

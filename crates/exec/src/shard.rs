@@ -21,8 +21,8 @@
 
 use std::sync::Arc;
 
-use grom_data::{DataError, DeltaLog, Instance, RelId, Tuple, Value};
-use grom_engine::{Control, Db, DbRel};
+use grom_data::{DataError, DeltaLog, Instance, RelId, Span, Tuple, Value};
+use grom_engine::{Control, Db, DbRel, Ver};
 
 /// An instance snapshot plus a private write buffer, presented as one
 /// database.
@@ -130,26 +130,45 @@ fn decode(rel: DbRel) -> (Option<RelId>, Option<RelId>) {
     (hi.checked_sub(1).map(RelId), lo.checked_sub(1).map(RelId))
 }
 
+/// Split a packed [`ShardView`] version cursor into per-layer slot [`Span`]s.
+/// The cursor packs the snapshot cut in its high 32 bits and the buffer cut
+/// in its low 32 bits, mirroring the token encoding.
+fn layer_spans(ver: Ver) -> (Span, Span) {
+    match ver {
+        Ver::All => (Span::All, Span::All),
+        Ver::Old(c) => (
+            Span::Below((c >> 32) as u32),
+            Span::Below(c as u32),
+        ),
+        Ver::New(c) => (
+            Span::AtLeast((c >> 32) as u32),
+            Span::AtLeast(c as u32),
+        ),
+    }
+}
+
 impl Db for ShardView<'_> {
     fn resolve(&self, relation: &str) -> Option<DbRel> {
         encode(self.base.rel_id(relation), self.local.rel_id(relation))
     }
 
-    fn scan_rel<'b>(
+    fn scan_rel_v<'b>(
         &'b self,
         rel: DbRel,
         pattern: &[Option<Value>],
+        ver: Ver,
         visit: &mut dyn FnMut(&'b Tuple) -> Control,
     ) {
         // Snapshot rows first, then buffered rows: insertion order across
         // the union, since everything in the buffer is newer. The layers
         // are disjoint by construction, so no deduplication is needed.
         let (base, local) = decode(rel);
+        let (base_span, local_span) = layer_spans(ver);
         if let Some(id) = base {
             if !self
                 .base
                 .relation_by_id(id)
-                .scan_each(pattern, &mut |t| visit(t) == Control::Continue)
+                .scan_each_v(pattern, base_span, &mut |t| visit(t) == Control::Continue)
             {
                 return;
             }
@@ -157,14 +176,40 @@ impl Db for ShardView<'_> {
         if let Some(id) = local {
             self.local
                 .relation_by_id(id)
-                .scan_each(pattern, &mut |t| visit(t) == Control::Continue);
+                .scan_each_v(pattern, local_span, &mut |t| visit(t) == Control::Continue);
         }
     }
 
-    fn estimate_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> usize {
+    fn estimate_rel_v(&self, rel: DbRel, pattern: &[Option<Value>], ver: Ver) -> usize {
         let (base, local) = decode(rel);
-        base.map_or(0, |id| self.base.relation_by_id(id).estimate(pattern))
-            + local.map_or(0, |id| self.local.relation_by_id(id).estimate(pattern))
+        let (base_span, local_span) = layer_spans(ver);
+        base.map_or(0, |id| {
+            self.base.relation_by_id(id).estimate_v(pattern, base_span)
+        }) + local.map_or(0, |id| {
+            self.local.relation_by_id(id).estimate_v(pattern, local_span)
+        })
+    }
+
+    fn cursor_before_last_rel(&self, rel: DbRel, n: usize) -> u64 {
+        // The trailing n tuples of the union are buffer rows first (the
+        // buffer holds everything newer than the snapshot), overflowing into
+        // the snapshot's trailing rows only when n exceeds the buffer.
+        let (base, local) = decode(rel);
+        let local_len = local.map_or(0, |id| self.local.relation_by_id(id).len());
+        let (base_cut, local_cut) = if n <= local_len {
+            (
+                base.map_or(0, |id| self.base.relation_by_id(id).frontier()),
+                local.map_or(0, |id| self.local.relation_by_id(id).cursor_before_last(n)),
+            )
+        } else {
+            (
+                base.map_or(0, |id| {
+                    self.base.relation_by_id(id).cursor_before_last(n - local_len)
+                }),
+                0,
+            )
+        };
+        (u64::from(base_cut) << 32) | u64::from(local_cut)
     }
 
     fn any_match_rel(&self, rel: DbRel, pattern: &[Option<Value>]) -> bool {
@@ -293,6 +338,45 @@ mod tests {
         assert_eq!(view.len_rel(s), 1);
         assert!(view.any_match_rel(s, &[Some(v(42))]));
         assert!(view.resolve("Absent").is_none());
+    }
+
+    #[test]
+    fn versioned_split_spans_base_and_buffer() {
+        let mut base = Instance::new();
+        for i in 0..4 {
+            base.add("R", vec![v(i)]).unwrap();
+        }
+        let mut view = ShardView::new(&base);
+        for i in 4..7 {
+            view.insert(&rel("R"), Tuple::new(vec![v(i)])).unwrap();
+        }
+        let r = view.resolve("R").unwrap();
+        let collect = |ver: Ver| {
+            let mut out = Vec::new();
+            view.scan_rel_v(r, &[None], ver, &mut |t| {
+                out.push(t.get(0).unwrap().as_int().unwrap());
+                Control::Continue
+            });
+            out
+        };
+        // n within the buffer: the split falls entirely in the local layer.
+        let c = view.cursor_before_last_rel(r, 2);
+        assert_eq!(collect(Ver::New(c)), vec![5, 6]);
+        assert_eq!(collect(Ver::Old(c)), vec![0, 1, 2, 3, 4]);
+        assert_eq!(view.estimate_rel_v(r, &[None], Ver::New(c)), 2);
+        // n crossing the boundary: the new half takes all buffer rows plus
+        // the snapshot's trailing rows.
+        let c = view.cursor_before_last_rel(r, 5);
+        assert_eq!(collect(Ver::New(c)), vec![2, 3, 4, 5, 6]);
+        assert_eq!(collect(Ver::Old(c)), vec![0, 1]);
+        // n == union length: everything is new.
+        let c = view.cursor_before_last_rel(r, 7);
+        assert_eq!(collect(Ver::New(c)).len(), 7);
+        assert!(collect(Ver::Old(c)).is_empty());
+        // n == 0: everything is old.
+        let c = view.cursor_before_last_rel(r, 0);
+        assert!(collect(Ver::New(c)).is_empty());
+        assert_eq!(collect(Ver::Old(c)).len(), 7);
     }
 
     #[test]

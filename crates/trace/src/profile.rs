@@ -26,9 +26,15 @@ pub struct DepProfile {
     /// Delta activations that found at least one violation — the numerator
     /// of the delta-hit rate.
     pub delta_hits: u64,
-    /// Delta tuples used to seed premise evaluation.
+    /// Delta tuples used to seed premise evaluation. Each claimed tuple
+    /// counts once per activation, however many anchor positions its
+    /// relation has in the premise — the semi-naive old/new split
+    /// evaluates all anchors in one pass over the claimed delta.
     pub delta_tuples_seeded: u64,
     /// Violating premise matches found (before the satisfied-recheck).
+    /// True match counts: the semi-naive split enumerates each match
+    /// exactly once across anchor positions, so nothing is filtered out
+    /// between enumeration and this counter.
     pub violations: u64,
     /// Tuples this dependency's repairs actually inserted.
     pub tuples_produced: u64,

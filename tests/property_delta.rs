@@ -90,6 +90,74 @@ fn arb_cross_egd() -> impl Strategy<Value = Dependency> {
     })
 }
 
+/// A tgd whose premise reads the *same* relation in several positions —
+/// the multi-anchor overlap case the semi-naive old/new split changes
+/// most. A premise match can use newly inserted tuples at two or three
+/// positions at once; the split must enumerate it exactly once (anchored
+/// at its first new position), where the pre-split evaluator enumerated it
+/// once per anchor and deduplicated late.
+fn arb_multi_anchor_tgd() -> impl Strategy<Value = Dependency> {
+    (
+        0usize..3,       // the repeated premise relation
+        0usize..3,       // conclusion relation
+        prop::bool::ANY, // third premise atom closing a triangle?
+        0usize..4,       // conclusion arg 1 selector (3 = existential w)
+        0usize..4,       // conclusion arg 2 selector
+    )
+        .prop_map(|(pr, cr, three, c1, c2)| {
+            let mut premise = vec![Literal::Pos(atom(pr, 0, 1)), Literal::Pos(atom(pr, 1, 2))];
+            if three {
+                premise.push(Literal::Pos(atom(pr, 2, 0)));
+            }
+            let pick = |s: usize| {
+                if s < 3 {
+                    Term::var(VARS[s])
+                } else {
+                    Term::var("w")
+                }
+            };
+            let conclusion = Atom::new(RELS[cr], vec![pick(c1), pick(c2)]);
+            Dependency::tgd("m", premise, vec![conclusion])
+        })
+}
+
+/// A program dominated by multi-anchor tgds (same relation read at 2–3
+/// premise positions), mixed with ordinary tgds and egds so delta claims
+/// interleave with full-rescan invalidations, rejection-sampled to the
+/// weakly acyclic fragment.
+fn arb_multi_anchor_program() -> impl Strategy<Value = Vec<Dependency>> {
+    (
+        prop::collection::vec(arb_multi_anchor_tgd(), 1..3),
+        prop::collection::vec(arb_tgd(), 0..2),
+        prop::collection::vec(arb_egd(), 0..2),
+    )
+        .prop_map(|(mut multi, mut tgds, mut egds)| {
+            for (i, d) in multi.iter_mut().enumerate() {
+                d.name = format!("m{i}").into();
+            }
+            for (i, d) in tgds.iter_mut().enumerate() {
+                d.name = format!("t{i}").into();
+            }
+            for (i, e) in egds.iter_mut().enumerate() {
+                e.name = format!("e{i}").into();
+            }
+            let mut deps = Vec::new();
+            let mut tgds = tgds.into_iter();
+            let mut egds = egds.into_iter();
+            for m in multi {
+                deps.push(m);
+                deps.extend(tgds.next());
+                deps.extend(egds.next());
+            }
+            deps.extend(tgds);
+            deps.extend(egds);
+            deps
+        })
+        .prop_filter("weakly acyclic", |deps| {
+            grom::chase::is_weakly_acyclic(deps).weakly_acyclic
+        })
+}
+
 /// A random program, rejection-sampled down to the weakly acyclic
 /// fragment (where both schedulers are guaranteed to terminate).
 fn arb_wa_program() -> impl Strategy<Value = Vec<Dependency>> {
@@ -340,6 +408,50 @@ proptest! {
             divergence.is_none(),
             "spec `{}` diverges: {}", spec, divergence.unwrap()
         );
+    }
+
+    /// The multi-anchor equivalence property: on programs whose premises
+    /// read the same relation in several positions, the semi-naive delta
+    /// scheduler and the parallel executor at 2 and 4 threads must agree
+    /// with the full-rescan reference up to null renaming. Debug builds
+    /// additionally assert (inside `delta_violations`) that no premise
+    /// match is enumerated at more than one anchor position — this suite
+    /// is the property-level exercise of that assertion.
+    #[test]
+    fn multi_anchor_programs_agree_across_schedulers(
+        deps in arb_multi_anchor_program(),
+        inst in arb_instance(),
+    ) {
+        let naive = chase_standard_full_rescan(
+            inst.clone(), &deps, &cfg(SchedulerMode::FullRescan));
+        let modes = [
+            SchedulerMode::Delta,
+            SchedulerMode::Parallel { threads: 2 },
+            SchedulerMode::Parallel { threads: 4 },
+        ];
+        for mode in modes {
+            let semi = chase_standard(inst.clone(), &deps, &cfg(mode));
+            match (&naive, semi) {
+                (Ok(n), Ok(s)) => {
+                    prop_assert_eq!(
+                        canonical_render(&n.instance),
+                        canonical_render(&s.instance),
+                        "instances differ up to null renaming under {:?}", mode
+                    );
+                    for dep in &deps {
+                        prop_assert!(dependency_satisfied(&s.instance, dep));
+                    }
+                    prop_assert_eq!(n.instance.len(), s.instance.len());
+                }
+                (Err(ChaseError::Failure { .. }), Err(ChaseError::Failure { .. })) => {}
+                (n, s) => {
+                    let n = n.as_ref().map(|r| r.stats.clone());
+                    let s = s.map(|r| r.stats);
+                    prop_assert!(false,
+                        "schedulers diverge under {mode:?}: naive={n:?} semi={s:?}");
+                }
+            }
+        }
     }
 
     /// The delta scheduler respects the round budget exactly like the

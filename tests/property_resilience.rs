@@ -25,6 +25,75 @@ const MODES: [SchedulerMode; 4] = [
     SchedulerMode::Parallel { threads: 4 },
 ];
 
+/// A kill landing *between* insertion and the sweep-boundary promotion of
+/// the inserted tuples: the consumer is declared before its producer, so
+/// the producer's sweep-1 inserts are routed to the consumer's worklist
+/// slot but claimed — and thereby folded into the old half — only in sweep
+/// 2. Interrupting before sweep 2 runs therefore checkpoints live
+/// `Pending::Delta` payloads whose tuples are all still *new*, and the v2
+/// envelope must round-trip that partition and resume to the uninterrupted
+/// fixpoint.
+#[test]
+fn kill_between_insertion_and_promotion_round_trips_pending_deltas() {
+    use grom::prelude::{Instance, Value};
+
+    let _guard = fail::test_lock();
+    fail::clear();
+
+    let program = "tgd c: B(x, y) -> C(x, y).\n\
+                   tgd d: C(x, y) -> D(x, y).\n\
+                   tgd p: A(x, y) -> B(x, y).";
+    let p = grom::lang::parser::parse_program(program).unwrap();
+    let mut inst = Instance::new();
+    for i in 0..6i64 {
+        inst.add("A", vec![Value::int(i), Value::int(i + 1)])
+            .unwrap();
+    }
+    let base = ChaseConfig::default().with_max_rounds(50);
+
+    for mode in MODES {
+        let cfg = base.clone().with_scheduler(mode);
+        let clean = match chase_standard_outcome(inst.clone(), &p.deps, &cfg) {
+            Ok(ChaseOutcome::Completed(r)) => r,
+            other => panic!("{mode:?}: uninterrupted run did not complete: {other:?}"),
+        };
+        let want = canonical_render(&clean.instance);
+
+        fail::install("sweep:interrupt@2").unwrap();
+        let killed = chase_standard_outcome(inst.clone(), &p.deps, &cfg);
+        fail::clear();
+        let interrupted = match killed {
+            Ok(ChaseOutcome::Interrupted(i)) => i,
+            other => panic!("{mode:?}: sweep-2 kill did not interrupt: {other:?}"),
+        };
+        assert!(matches!(interrupted.reason, InterruptReason::Fault));
+        let json = interrupted.checkpoint.to_json();
+        if matches!(mode, SchedulerMode::Delta) {
+            // The window this test exists for: unclaimed delta payloads in
+            // the envelope, carrying their (all-new) partition record.
+            assert!(
+                json.contains("\"kind\":\"delta\""),
+                "{mode:?}: no pending delta checkpointed at the kill window: {json}"
+            );
+            assert!(
+                json.contains("\"new\":{"),
+                "{mode:?}: v2 envelope lacks the partition record: {json}"
+            );
+        }
+        let restored = Checkpoint::from_json(&json)
+            .unwrap_or_else(|e| panic!("{mode:?}: checkpoint does not round-trip: {e}"));
+        let resumed = match chase_resume(&restored, &p.deps, &cfg) {
+            Ok(ChaseOutcome::Completed(r)) => r,
+            other => panic!("{mode:?}: resume did not complete: {other:?}"),
+        };
+        assert_eq!(
+            canonical_render(&resumed.instance),
+            want,
+            "{mode:?}: resume after a mid-promotion kill diverges"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
